@@ -1,0 +1,67 @@
+#ifndef AUTOINDEX_ENGINE_EXECUTOR_H_
+#define AUTOINDEX_ENGINE_EXECUTOR_H_
+
+#include <vector>
+
+#include "engine/cost_model.h"
+#include "engine/planner.h"
+#include "index/index_manager.h"
+#include "sql/statement.h"
+#include "stats/stats_manager.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace autoindex {
+
+// The outcome of executing one statement: result rows (SELECT only) plus
+// the raw execution counters the cost model prices.
+struct ExecResult {
+  std::vector<Row> rows;
+  ExecStats stats;
+  // The plan's chosen indexes (display names), for diagnostics.
+  std::vector<std::string> indexes_used;
+};
+
+// Executes statements against real tables and indexes, with deterministic
+// page/tuple accounting. Left-deep join execution: index nested-loop when
+// the planner picked an index on the inner table, hash join otherwise.
+class Executor {
+ public:
+  Executor(Catalog* catalog, IndexManager* indexes, StatsManager* stats,
+           const CostParams& params)
+      : catalog_(catalog),
+        indexes_(indexes),
+        stats_(stats),
+        planner_(catalog, stats, params),
+        params_(params) {}
+
+  StatusOr<ExecResult> Execute(const Statement& stmt);
+
+  const Planner& planner() const { return planner_; }
+
+ private:
+  StatusOr<ExecResult> ExecuteSelect(const SelectStatement& stmt);
+  StatusOr<ExecResult> ExecuteInsert(const InsertStatement& stmt);
+  StatusOr<ExecResult> ExecuteUpdate(const UpdateStatement& stmt);
+  StatusOr<ExecResult> ExecuteDelete(const DeleteStatement& stmt);
+
+  // Finds the RowIds matched by a write statement's WHERE using the chosen
+  // access path; accounts read-side costs into *stats.
+  StatusOr<std::vector<RowId>> LookupRows(const std::string& table,
+                                          const Expr* where,
+                                          ExecStats* stats,
+                                          std::vector<std::string>* used);
+
+  // Current built-index stats for a table (the real execution config).
+  std::vector<IndexStatsView> BuiltConfig(const std::string& table) const;
+
+  Catalog* catalog_;
+  IndexManager* indexes_;
+  StatsManager* stats_;
+  Planner planner_;
+  CostParams params_;
+};
+
+}  // namespace autoindex
+
+#endif  // AUTOINDEX_ENGINE_EXECUTOR_H_

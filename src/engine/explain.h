@@ -1,0 +1,30 @@
+#ifndef AUTOINDEX_ENGINE_EXPLAIN_H_
+#define AUTOINDEX_ENGINE_EXPLAIN_H_
+
+#include <string>
+
+#include "engine/database.h"
+#include "sql/statement.h"
+
+namespace autoindex {
+
+// Renders the plan the engine would run for a statement under a given
+// index configuration — access path per table (seq scan / index scan with
+// the matched prefix / hash join), join order, and estimated
+// rows/costs. The default config is the currently built index set.
+//
+//   EXPLAIN SELECT ... =>
+//     -> index scan on orders via idx_orders_customer_id
+//          prefix: customer_id = ?  (est. 10.0 rows, cost 12.4)
+//     -> hash join to items on item_id (est. 40.0 rows)
+//     estimated total cost: 52.4
+std::string ExplainStatement(const Database& db, const Statement& stmt);
+std::string ExplainStatement(const Database& db, const Statement& stmt,
+                             const IndexConfig& config);
+
+// Parses and explains one SQL string.
+StatusOr<std::string> ExplainSql(const Database& db, const std::string& sql);
+
+}  // namespace autoindex
+
+#endif  // AUTOINDEX_ENGINE_EXPLAIN_H_

@@ -1,0 +1,345 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace autoindex {
+
+int CompareRowPrefix(const Row& a, const Row& b, size_t prefix_len) {
+  const size_t n = std::min({a.size(), b.size(), prefix_len});
+  for (size_t i = 0; i < n; ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+struct BTree::Entry {
+  Row key;
+  RowId rid;
+};
+
+struct BTree::Node {
+  bool is_leaf = true;
+  std::vector<Entry> entries;                   // leaf payload or separators
+  std::vector<std::unique_ptr<Node>> children;  // internal only;
+                                                // children.size() ==
+                                                // entries.size() + 1
+  Node* next = nullptr;  // leaf chain
+  Node* prev = nullptr;
+};
+
+namespace {
+
+// Total order on (key, rid).
+int CompareEntry(const Row& a_key, RowId a_rid, const Row& b_key,
+                 RowId b_rid) {
+  const int c = CompareRows(a_key, b_key);
+  if (c != 0) return c;
+  if (a_rid < b_rid) return -1;
+  if (a_rid > b_rid) return 1;
+  return 0;
+}
+
+}  // namespace
+
+BTree::BTree(size_t leaf_capacity, size_t internal_capacity)
+    : leaf_capacity_(std::max<size_t>(4, leaf_capacity)),
+      internal_capacity_(std::max<size_t>(4, internal_capacity)) {
+  root_ = std::make_unique<Node>();
+  root_->is_leaf = true;
+  num_nodes_ = 1;
+  height_ = 1;
+}
+
+BTree::~BTree() {
+  // Deep trees would overflow the stack with default recursive unique_ptr
+  // destruction; flatten iteratively.
+  if (!root_) return;
+  std::vector<std::unique_ptr<Node>> stack;
+  stack.push_back(std::move(root_));
+  while (!stack.empty()) {
+    std::unique_ptr<Node> node = std::move(stack.back());
+    stack.pop_back();
+    for (auto& child : node->children) stack.push_back(std::move(child));
+  }
+}
+
+BTree::Node* BTree::FindLeaf(const Row& key, RowId rid,
+                             std::vector<Node*>* path) const {
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    if (path) path->push_back(node);
+    // First child whose separator exceeds (key, rid).
+    size_t i = 0;
+    while (i < node->entries.size() &&
+           CompareEntry(key, rid, node->entries[i].key,
+                        node->entries[i].rid) >= 0) {
+      ++i;
+    }
+    node = node->children[i].get();
+  }
+  if (path) path->push_back(node);
+  return node;
+}
+
+void BTree::SplitChild(Node* parent, size_t child_idx) {
+  Node* child = parent->children[child_idx].get();
+  auto right = std::make_unique<Node>();
+  right->is_leaf = child->is_leaf;
+  const size_t mid = child->entries.size() / 2;
+
+  if (child->is_leaf) {
+    // Right leaf takes entries [mid, end); separator is right's first key.
+    right->entries.assign(std::make_move_iterator(child->entries.begin() + mid),
+                          std::make_move_iterator(child->entries.end()));
+    child->entries.resize(mid);
+    right->next = child->next;
+    if (right->next) right->next->prev = right.get();
+    right->prev = child;
+    child->next = right.get();
+    Entry sep;
+    sep.key = right->entries.front().key;
+    sep.rid = right->entries.front().rid;
+    parent->entries.insert(parent->entries.begin() + child_idx,
+                           std::move(sep));
+  } else {
+    // Internal split: the middle separator moves up.
+    Entry sep = std::move(child->entries[mid]);
+    right->entries.assign(
+        std::make_move_iterator(child->entries.begin() + mid + 1),
+        std::make_move_iterator(child->entries.end()));
+    right->children.assign(
+        std::make_move_iterator(child->children.begin() + mid + 1),
+        std::make_move_iterator(child->children.end()));
+    child->entries.resize(mid);
+    child->children.resize(mid + 1);
+    parent->entries.insert(parent->entries.begin() + child_idx,
+                           std::move(sep));
+  }
+  parent->children.insert(parent->children.begin() + child_idx + 1,
+                          std::move(right));
+  ++num_nodes_;
+  ++num_splits_;
+}
+
+void BTree::InsertNonFull(Node* node, const Row& key, RowId rid) {
+  while (!node->is_leaf) {
+    size_t i = 0;
+    while (i < node->entries.size() &&
+           CompareEntry(key, rid, node->entries[i].key,
+                        node->entries[i].rid) >= 0) {
+      ++i;
+    }
+    Node* child = node->children[i].get();
+    const size_t cap = child->is_leaf ? leaf_capacity_ : internal_capacity_;
+    if (child->entries.size() >= cap) {
+      SplitChild(node, i);
+      // Re-decide which side to descend.
+      if (CompareEntry(key, rid, node->entries[i].key,
+                       node->entries[i].rid) >= 0) {
+        ++i;
+      }
+      child = node->children[i].get();
+    }
+    node = child;
+  }
+  auto it = std::lower_bound(
+      node->entries.begin(), node->entries.end(), key,
+      [&](const Entry& e, const Row& k) {
+        return CompareEntry(e.key, e.rid, k, rid) < 0;
+      });
+  Entry entry;
+  entry.key = key;
+  entry.rid = rid;
+  node->entries.insert(it, std::move(entry));
+  ++num_entries_;
+}
+
+void BTree::Insert(const Row& key, RowId rid) {
+  const size_t root_cap =
+      root_->is_leaf ? leaf_capacity_ : internal_capacity_;
+  if (root_->entries.size() >= root_cap) {
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    ++num_nodes_;
+    ++height_;
+    SplitChild(root_.get(), 0);
+  }
+  InsertNonFull(root_.get(), key, rid);
+}
+
+bool BTree::Delete(const Row& key, RowId rid) {
+  Node* leaf = FindLeaf(key, rid);
+  auto it = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), key,
+      [&](const Entry& e, const Row& k) {
+        return CompareEntry(e.key, e.rid, k, rid) < 0;
+      });
+  if (it == leaf->entries.end() ||
+      CompareEntry(it->key, it->rid, key, rid) != 0) {
+    return false;
+  }
+  leaf->entries.erase(it);
+  --num_entries_;
+  // Empty leaves stay in the chain: the parent still routes inserts to
+  // them, so unlinking would orphan future entries. Scans skip them for
+  // free (deferred page reclaim, as in PostgreSQL nbtree).
+  return true;
+}
+
+bool BTree::Contains(const Row& key) const {
+  bool found = false;
+  Scan(&key, true, &key, true,
+       [&](const Row& k, RowId) {
+         if (k.size() == key.size()) {
+           found = true;
+           return false;
+         }
+         return true;
+       });
+  return found;
+}
+
+void BTree::Scan(const Row* lo, bool lo_inclusive, const Row* hi,
+                 bool hi_inclusive,
+                 const std::function<bool(const Row&, RowId)>& fn,
+                 size_t* pages_touched) const {
+  const Node* node = root_.get();
+  size_t pages = 1;
+  if (lo == nullptr) {
+    // Descend to the leftmost leaf.
+    while (!node->is_leaf) {
+      node = node->children[0].get();
+      ++pages;
+    }
+  } else {
+    while (!node->is_leaf) {
+      size_t i = 0;
+      // Descend into the first child that can contain keys >= lo on the
+      // prefix. Separator comparison uses the lo prefix length.
+      while (i < node->entries.size() &&
+             CompareRowPrefix(node->entries[i].key, *lo, lo->size()) < 0) {
+        ++i;
+      }
+      node = node->children[i].get();
+      ++pages;
+    }
+  }
+
+  const Node* leaf = node;
+  // Position within the first leaf.
+  size_t idx = 0;
+  if (lo != nullptr) {
+    while (idx < leaf->entries.size()) {
+      const int c = CompareRowPrefix(leaf->entries[idx].key, *lo, lo->size());
+      if (c > 0 || (c == 0 && lo_inclusive)) break;
+      ++idx;
+    }
+  }
+  while (leaf != nullptr) {
+    for (; idx < leaf->entries.size(); ++idx) {
+      const Entry& e = leaf->entries[idx];
+      if (lo != nullptr) {
+        const int c = CompareRowPrefix(e.key, *lo, lo->size());
+        if (c < 0 || (c == 0 && !lo_inclusive)) continue;
+      }
+      if (hi != nullptr) {
+        const int c = CompareRowPrefix(e.key, *hi, hi->size());
+        if (c > 0 || (c == 0 && !hi_inclusive)) {
+          if (pages_touched) *pages_touched += pages;
+          return;
+        }
+      }
+      if (!fn(e.key, e.rid)) {
+        if (pages_touched) *pages_touched += pages;
+        return;
+      }
+    }
+    leaf = leaf->next;
+    idx = 0;
+    if (leaf != nullptr) ++pages;
+  }
+  if (pages_touched) *pages_touched += pages;
+}
+
+std::vector<RowId> BTree::PrefixLookup(const Row& prefix,
+                                       size_t* pages_touched) const {
+  std::vector<RowId> rids;
+  Scan(&prefix, true, &prefix, true,
+       [&](const Row&, RowId rid) {
+         rids.push_back(rid);
+         return true;
+       },
+       pages_touched);
+  return rids;
+}
+
+bool BTree::CheckNode(const Node* node, size_t depth,
+                      size_t leaf_depth) const {
+  // Keys sorted within the node.
+  for (size_t i = 1; i < node->entries.size(); ++i) {
+    if (CompareEntry(node->entries[i - 1].key, node->entries[i - 1].rid,
+                     node->entries[i].key, node->entries[i].rid) > 0) {
+      return false;
+    }
+  }
+  if (node->is_leaf) return depth == leaf_depth;
+  if (node->children.size() != node->entries.size() + 1) return false;
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const Node* child = node->children[i].get();
+    if (!CheckNode(child, depth + 1, leaf_depth)) return false;
+    // Child key ranges respect separators (checked on first/last entries).
+    if (!child->entries.empty()) {
+      if (i > 0) {
+        const Entry& sep = node->entries[i - 1];
+        if (CompareEntry(child->entries.front().key, child->entries.front().rid,
+                         sep.key, sep.rid) < 0) {
+          return false;
+        }
+      }
+      if (i < node->entries.size()) {
+        const Entry& sep = node->entries[i];
+        if (CompareEntry(child->entries.back().key, child->entries.back().rid,
+                         sep.key, sep.rid) >= 0) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool BTree::CheckInvariants() const {
+  // All leaves at the same depth.
+  size_t leaf_depth = 1;
+  const Node* n = root_.get();
+  while (!n->is_leaf) {
+    n = n->children[0].get();
+    ++leaf_depth;
+  }
+  if (leaf_depth != height_) return false;
+  if (!CheckNode(root_.get(), 1, leaf_depth)) return false;
+  // Leaf chain is globally sorted and covers exactly num_entries_ live
+  // entries reachable from the leftmost leaf.
+  const Node* leaf = root_.get();
+  while (!leaf->is_leaf) leaf = leaf->children[0].get();
+  size_t count = 0;
+  const Entry* prev = nullptr;
+  while (leaf != nullptr) {
+    for (const Entry& e : leaf->entries) {
+      if (prev != nullptr &&
+          CompareEntry(prev->key, prev->rid, e.key, e.rid) > 0) {
+        return false;
+      }
+      prev = &e;
+      ++count;
+    }
+    leaf = leaf->next;
+  }
+  return count == num_entries_;
+}
+
+}  // namespace autoindex
