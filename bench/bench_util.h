@@ -2,8 +2,7 @@
 // binary regenerates one table or figure of the paper (see DESIGN.md's
 // experiment index) and prints the corresponding rows/series.
 
-#ifndef AUTOINDEX_BENCH_BENCH_UTIL_H_
-#define AUTOINDEX_BENCH_BENCH_UTIL_H_
+#pragma once
 
 #include <chrono>
 #include <cstdio>
@@ -96,7 +95,7 @@ inline GreedyResult RunGreedyPipeline(Database* db,
 // Applies a greedy selection to the database (creates the chosen indexes).
 inline void ApplyGreedy(Database* db, const GreedyResult& result) {
   for (const IndexDef& def : result.to_add) {
-    db->CreateIndex(def);
+    CheckOk(db->CreateIndex(def));
   }
 }
 
@@ -128,5 +127,3 @@ inline void PrintOutcomeRow(const MethodOutcome& o) {
 
 }  // namespace bench
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_BENCH_BENCH_UTIL_H_

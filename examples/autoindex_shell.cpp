@@ -15,6 +15,7 @@
 #include <sstream>
 #include <string>
 
+#include "check/validator.h"
 #include "core/manager.h"
 #include "engine/explain.h"
 #include "util/string_util.h"
@@ -81,7 +82,8 @@ int main() {
   AutoIndexManager manager(&db, config);
 
   std::printf("AutoIndex shell — \\demo \\tune \\diagnose \\indexes "
-              "\\templates \\explain <sql> \\budget <MiB> \\quit\n");
+              "\\templates \\explain <sql> \\budget <MiB> "
+              "\\check [on|off] \\quit\n");
   std::string line;
   while (true) {
     std::printf("autoindex> ");
@@ -113,6 +115,24 @@ int main() {
           std::printf("storage budget set to %.1f MiB\n", mib);
         } else {
           std::printf("usage: \\budget <MiB>\n");
+        }
+      } else if (cmd == "check") {
+        // "\check" validates every structure now; "\check on" keeps doing
+        // it after each mutation batch, "\check off" stops.
+        std::string mode;
+        iss >> mode;
+        if (mode == "on") {
+          InstallDebugChecks(&db);
+          std::printf("debug checks on: structures validated after every "
+                      "mutation batch\n");
+        } else if (mode == "off") {
+          InstallDebugChecks(&db, /*install=*/false);
+          std::printf("debug checks off\n");
+        } else if (mode.empty()) {
+          const CheckReport report = CheckAll(db);
+          std::printf("%s\n", report.ToString().c_str());
+        } else {
+          std::printf("usage: \\check [on|off]\n");
         }
       } else if (cmd == "diagnose") {
         DiagnosisReport report = manager.Diagnose();

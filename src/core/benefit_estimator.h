@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_CORE_BENEFIT_ESTIMATOR_H_
-#define AUTOINDEX_CORE_BENEFIT_ESTIMATOR_H_
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -82,5 +81,3 @@ class IndexBenefitEstimator {
 uint64_t HashConfig(const IndexConfig& config);
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_CORE_BENEFIT_ESTIMATOR_H_

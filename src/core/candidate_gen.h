@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_CORE_CANDIDATE_GEN_H_
-#define AUTOINDEX_CORE_CANDIDATE_GEN_H_
+#pragma once
 
 #include <vector>
 
@@ -67,5 +66,3 @@ class CandidateGenerator {
 std::vector<IndexDef> MergeCandidates(std::vector<IndexDef> candidates);
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_CORE_CANDIDATE_GEN_H_

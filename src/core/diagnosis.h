@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_CORE_DIAGNOSIS_H_
-#define AUTOINDEX_CORE_DIAGNOSIS_H_
+#pragma once
 
 #include <vector>
 
@@ -50,5 +49,3 @@ class IndexDiagnoser {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_CORE_DIAGNOSIS_H_

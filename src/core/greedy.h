@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_CORE_GREEDY_H_
-#define AUTOINDEX_CORE_GREEDY_H_
+#pragma once
 
 #include <vector>
 
@@ -57,5 +56,3 @@ class GreedySelector {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_CORE_GREEDY_H_

@@ -132,12 +132,21 @@ TuningResult AutoIndexManager::RunManagementRound(bool apply) {
   }
 
   if (apply) {
+    // Keep the reported deltas honest: if the estate drifted under us
+    // (say, a manual DROP between search and apply), the failed DDL must
+    // not show up in added/removed as if it happened.
+    std::vector<IndexDef> dropped;
     for (const IndexDef& def : result.removed) {
-      db_->DropIndex(def.Key());
+      const Status drop_status = db_->DropIndex(def.Key());
+      if (drop_status.ok()) dropped.push_back(def);
     }
+    result.removed = std::move(dropped);
+    std::vector<IndexDef> built;
     for (const IndexDef& def : result.added) {
-      db_->CreateIndex(def);
+      const Status create_status = db_->CreateIndex(def);
+      if (create_status.ok()) built.push_back(def);
     }
+    result.added = std::move(built);
     // Usage counters are per-round signals; reset after inspection.
     for (BuiltIndex* index : db_->index_manager().AllIndexes()) {
       index->ResetUses();

@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_CORE_MANAGER_H_
-#define AUTOINDEX_CORE_MANAGER_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -106,5 +105,3 @@ class AutoIndexManager {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_CORE_MANAGER_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <deque>
 
+#include "util/string_util.h"
+
 namespace autoindex {
 
 struct MctsIndexSelector::Node {
@@ -16,6 +18,19 @@ struct MctsIndexSelector::Node {
   Node* parent = nullptr;
   std::vector<std::unique_ptr<Node>> children;
 };
+
+size_t MctsIndexSelector::CountNodes(const Node* node) {
+  if (node == nullptr) return 0;
+  size_t count = 0;
+  std::vector<const Node*> todo = {node};
+  while (!todo.empty()) {
+    const Node* n = todo.back();
+    todo.pop_back();
+    ++count;
+    for (const auto& child : n->children) todo.push_back(child.get());
+  }
+  return count;
+}
 
 MctsIndexSelector::MctsIndexSelector(Database* db,
                                      IndexBenefitEstimator* estimator,
@@ -76,8 +91,10 @@ bool MctsIndexSelector::RebaseRoot(const IndexConfig& target) {
           std::unique_ptr<Node> promoted = std::move(child);
           promoted->parent = nullptr;
           root_ = std::move(promoted);
-          // Tree size bookkeeping becomes approximate after a rebase; the
-          // discarded siblings are freed here.
+          // The discarded siblings are freed here; recount so tree_size_
+          // tracks the surviving subtree exactly (the validator checks it
+          // against a fresh walk).
+          tree_size_ = CountNodes(root_.get());
           return true;
         }
       }
@@ -288,6 +305,82 @@ MctsResult MctsIndexSelector::Run(const IndexConfig& existing,
   }
   workload_ = nullptr;
   return result;
+}
+
+Status MctsIndexSelector::ValidateTree() const {
+  if (root_ == nullptr) {
+    if (tree_size_ != 0) {
+      return Status::Internal(StrCat(
+          "mcts: no tree but tree_size reports ", tree_size_));
+    }
+    return Status::Ok();
+  }
+  if (root_->parent != nullptr) {
+    return Status::Internal("mcts: root has a parent pointer");
+  }
+
+  size_t walked = 0;
+  std::vector<const Node*> todo = {root_.get()};
+  // unique_ptr ownership rules out true cycles, but corrupted bookkeeping
+  // should still terminate: bound the walk by the reported size.
+  const size_t max_nodes = tree_size_ + 16;
+  while (!todo.empty()) {
+    const Node* node = todo.back();
+    todo.pop_back();
+    if (++walked > max_nodes) {
+      return Status::Internal(StrCat("mcts: walk exceeded ", max_nodes,
+                                     " nodes (tree_size bookkeeping is off)"));
+    }
+    // Benefit is the max over normalized benefits (fractions of the base
+    // workload cost saved), clamped at 0 by its initialization — so it
+    // must stay within [0, 1].
+    if (node->benefit < 0.0 || node->benefit > 1.0 + 1e-9) {
+      return Status::Internal(StrCat("mcts: node benefit ", node->benefit,
+                                     " outside [0, 1]"));
+    }
+    size_t child_visits = 0;
+    for (const auto& child : node->children) {
+      if (child == nullptr) {
+        return Status::Internal("mcts: null child in policy tree");
+      }
+      if (child->parent != node) {
+        return Status::Internal(
+            "mcts: child's parent pointer does not point at its parent");
+      }
+      // Max-backprop writes every ancestor, so a child can never out-score
+      // its parent.
+      if (child->benefit > node->benefit + 1e-9) {
+        return Status::Internal(StrCat(
+            "mcts: child benefit ", child->benefit,
+            " exceeds its parent's ", node->benefit));
+      }
+      child_visits += child->visits;
+      todo.push_back(child.get());
+    }
+    // Every child visit passed through this node on the way down.
+    if (child_visits > node->visits) {
+      return Status::Internal(StrCat(
+          "mcts: node with ", node->visits, " visits has children totaling ",
+          child_visits));
+    }
+  }
+  if (walked != tree_size_) {
+    return Status::Internal(StrCat("mcts: tree_size reports ", tree_size_,
+                                   " nodes but walk found ", walked));
+  }
+  return Status::Ok();
+}
+
+bool MctsIndexSelector::TestOnlyCorruptVisitCount() {
+  if (root_ == nullptr || root_->children.empty()) return false;
+  root_->children[0]->visits = root_->visits + 1;
+  return true;
+}
+
+bool MctsIndexSelector::TestOnlyCorruptBenefit() {
+  if (root_ == nullptr) return false;
+  root_->benefit = 2.0;
+  return true;
 }
 
 }  // namespace autoindex

@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_CORE_MCTS_H_
-#define AUTOINDEX_CORE_MCTS_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -8,6 +7,7 @@
 #include "engine/database.h"
 #include "engine/what_if.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace autoindex {
 
@@ -76,6 +76,19 @@ class MctsIndexSelector {
   void Reset();
   size_t tree_size() const { return tree_size_; }
 
+  // Deep structural validation of the persistent policy tree: parent/child
+  // links symmetric, visit count of every node >= sum of its children's
+  // (backprop touches every ancestor), benefits within [0, 1] and
+  // monotone up the tree (max-backprop), and tree_size() matching a fresh
+  // walk. Ok() when healthy; Internal naming the first violation
+  // otherwise. An empty tree (before the first Run) is healthy.
+  Status ValidateTree() const;
+
+  // --- Test-only corruption hooks (see src/check/); never call outside
+  // tests. Each returns false when the tree is too small to corrupt.
+  bool TestOnlyCorruptVisitCount();  // child visits exceed its parent's
+  bool TestOnlyCorruptBenefit();     // benefit pushed out of [0, 1]
+
   const MctsConfig& config() const { return config_; }
   void set_storage_budget(size_t bytes) {
     config_.storage_budget_bytes = bytes;
@@ -83,6 +96,9 @@ class MctsIndexSelector {
 
  private:
   struct Node;
+
+  // Number of nodes in the subtree rooted at `node` (0 for null).
+  static size_t CountNodes(const Node* node);
 
   // Tries to find a depth<=2 descendant of the root whose config equals
   // `target`; promotes it to root (incremental rebase). Returns true on
@@ -116,5 +132,3 @@ class MctsIndexSelector {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_CORE_MCTS_H_

@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_CORE_QUERY_TEMPLATE_H_
-#define AUTOINDEX_CORE_QUERY_TEMPLATE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -78,5 +77,3 @@ class TemplateStore {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_CORE_QUERY_TEMPLATE_H_

@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_ENGINE_COST_MODEL_H_
-#define AUTOINDEX_ENGINE_COST_MODEL_H_
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -75,5 +74,3 @@ struct ExecStats {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_ENGINE_COST_MODEL_H_

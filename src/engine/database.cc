@@ -18,21 +18,31 @@ StatusOr<HeapTable*> Database::CreateTable(const std::string& name,
 }
 
 Status Database::CreateIndex(const IndexDef& def) {
-  return index_manager_->CreateIndex(def);
+  Status s = index_manager_->CreateIndex(def);
+  if (!s.ok()) return s;
+  return RunInvariantHook();
 }
 
 Status Database::DropIndex(const std::string& key_or_name) {
-  return index_manager_->DropIndex(key_or_name);
+  Status s = index_manager_->DropIndex(key_or_name);
+  if (!s.ok()) return s;
+  return RunInvariantHook();
 }
 
 StatusOr<ExecResult> Database::Execute(const std::string& sql) {
   StatusOr<Statement> stmt = ParseSql(sql);
   if (!stmt.ok()) return stmt.status();
-  return executor_->Execute(*stmt);
+  return Execute(*stmt);
 }
 
 StatusOr<ExecResult> Database::Execute(const Statement& stmt) {
-  return executor_->Execute(stmt);
+  StatusOr<ExecResult> result = executor_->Execute(stmt);
+  // Debug-mode structural validation after every successful mutation.
+  if (result.ok() && stmt.IsWrite() && debug_checks_enabled()) {
+    Status s = RunInvariantHook();
+    if (!s.ok()) return s;
+  }
+  return result;
 }
 
 Status Database::BulkInsert(const std::string& table, std::vector<Row> rows) {
@@ -43,7 +53,9 @@ Status Database::BulkInsert(const std::string& table, std::vector<Row> rows) {
     if (!rid.ok()) return rid.status();
     index_manager_->OnInsert(table, *rid, t->Get(*rid));
   }
-  return Status::Ok();
+  // One check for the whole batch — per-row validation would make bulk
+  // loads quadratic under debug checks.
+  return RunInvariantHook();
 }
 
 IndexConfig Database::CurrentConfig() const {

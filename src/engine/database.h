@@ -1,6 +1,6 @@
-#ifndef AUTOINDEX_ENGINE_DATABASE_H_
-#define AUTOINDEX_ENGINE_DATABASE_H_
+#pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,6 +55,22 @@ class Database {
   // The configuration matching the currently built indexes.
   IndexConfig CurrentConfig() const;
 
+  // --- Correctness tooling (src/check/) ---
+  // Debug-mode invariant hook: when installed, it runs after every
+  // successful mutating statement, after BulkInsert, and after index DDL;
+  // a failure is surfaced as that operation's status. Installed by
+  // InstallDebugChecks() in src/check/ (the hook is a callback so the
+  // engine never depends on the check module); null disables.
+  using InvariantHook = std::function<Status(const Database&)>;
+  void set_invariant_hook(InvariantHook hook) {
+    invariant_hook_ = std::move(hook);
+  }
+  bool debug_checks_enabled() const { return invariant_hook_ != nullptr; }
+  // Runs the hook now; Ok when none is installed.
+  Status RunInvariantHook() const {
+    return invariant_hook_ ? invariant_hook_(*this) : Status::Ok();
+  }
+
   // --- Introspection ---
   Catalog& catalog() { return *catalog_; }
   const Catalog& catalog() const { return *catalog_; }
@@ -66,6 +82,7 @@ class Database {
 
  private:
   CostParams params_;
+  InvariantHook invariant_hook_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<IndexManager> index_manager_;
   std::unique_ptr<StatsManager> stats_manager_;
@@ -74,5 +91,3 @@ class Database {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_ENGINE_DATABASE_H_

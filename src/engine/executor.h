@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_ENGINE_EXECUTOR_H_
-#define AUTOINDEX_ENGINE_EXECUTOR_H_
+#pragma once
 
 #include <vector>
 
@@ -63,5 +62,3 @@ class Executor {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_ENGINE_EXECUTOR_H_

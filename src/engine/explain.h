@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_ENGINE_EXPLAIN_H_
-#define AUTOINDEX_ENGINE_EXPLAIN_H_
+#pragma once
 
 #include <string>
 
@@ -26,5 +25,3 @@ std::string ExplainStatement(const Database& db, const Statement& stmt,
 StatusOr<std::string> ExplainSql(const Database& db, const std::string& sql);
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_ENGINE_EXPLAIN_H_

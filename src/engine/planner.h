@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_ENGINE_PLANNER_H_
-#define AUTOINDEX_ENGINE_PLANNER_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -113,5 +112,3 @@ int ResolveColumnTable(const ColumnRef& col,
                        const Catalog& catalog);
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_ENGINE_PLANNER_H_

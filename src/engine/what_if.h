@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_ENGINE_WHAT_IF_H_
-#define AUTOINDEX_ENGINE_WHAT_IF_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -73,5 +72,3 @@ class WhatIfCostModel {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_ENGINE_WHAT_IF_H_

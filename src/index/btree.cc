@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/string_util.h"
+
 namespace autoindex {
 
 int CompareRowPrefix(const Row& a, const Row& b, size_t prefix_len) {
@@ -277,69 +279,209 @@ std::vector<RowId> BTree::PrefixLookup(const Row& prefix,
   return rids;
 }
 
-bool BTree::CheckNode(const Node* node, size_t depth,
-                      size_t leaf_depth) const {
-  // Keys sorted within the node.
-  for (size_t i = 1; i < node->entries.size(); ++i) {
-    if (CompareEntry(node->entries[i - 1].key, node->entries[i - 1].rid,
-                     node->entries[i].key, node->entries[i].rid) > 0) {
-      return false;
-    }
+namespace {
+
+// Walk accumulator for ValidateStructure: one pass collects everything the
+// reported stats are checked against.
+struct WalkStats {
+  size_t nodes = 0;
+  size_t entries = 0;
+  size_t leaf_depth = 0;  // 0 = no leaf seen yet
+};
+
+}  // namespace
+
+Status BTree::ValidateStructure() const {
+  if (root_ == nullptr) {
+    return Status::Internal("btree: root is null");
   }
-  if (node->is_leaf) return depth == leaf_depth;
-  if (node->children.size() != node->entries.size() + 1) return false;
-  for (size_t i = 0; i < node->children.size(); ++i) {
-    const Node* child = node->children[i].get();
-    if (!CheckNode(child, depth + 1, leaf_depth)) return false;
-    // Child key ranges respect separators (checked on first/last entries).
-    if (!child->entries.empty()) {
-      if (i > 0) {
-        const Entry& sep = node->entries[i - 1];
-        if (CompareEntry(child->entries.front().key, child->entries.front().rid,
-                         sep.key, sep.rid) < 0) {
-          return false;
+
+  WalkStats stats;
+  std::vector<const Node*> leaves_in_order;  // left-to-right recursive order
+
+  // Iterative DFS so that pathologically deep (or cyclic-by-corruption)
+  // trees cannot blow the stack; separator containment is checked from the
+  // parent's side while its children are still addressable.
+  struct Frame {
+    const Node* node;
+    size_t depth;
+  };
+  std::vector<Frame> todo;
+  todo.push_back({root_.get(), 1});
+  // Corruption can introduce cycles (e.g. a child pointing back up); bound
+  // the walk so validation always terminates.
+  const size_t max_nodes = num_nodes_ + 16;
+  while (!todo.empty()) {
+    const Frame f = todo.back();
+    todo.pop_back();
+    if (stats.nodes > max_nodes) {
+      return Status::Internal(StrCat(
+          "btree: walk exceeded ", max_nodes,
+          " nodes (cycle or wildly wrong num_nodes bookkeeping)"));
+    }
+    const Node* node = f.node;
+    ++stats.nodes;
+    stats.entries += node->is_leaf ? node->entries.size() : 0;
+
+    // Capacity bound.
+    const size_t cap = node->is_leaf ? leaf_capacity_ : internal_capacity_;
+    if (node->entries.size() > cap) {
+      return Status::Internal(StrCat(
+          "btree: node at depth ", f.depth, " holds ", node->entries.size(),
+          " entries, over its capacity of ", cap));
+    }
+
+    // Keys sorted within the node on (key, rid).
+    for (size_t i = 1; i < node->entries.size(); ++i) {
+      if (CompareEntry(node->entries[i - 1].key, node->entries[i - 1].rid,
+                       node->entries[i].key, node->entries[i].rid) > 0) {
+        return Status::Internal(StrCat(
+            "btree: entries out of order within ",
+            node->is_leaf ? "leaf" : "internal node", " at depth ", f.depth,
+            " (positions ", i - 1, " and ", i, ")"));
+      }
+    }
+
+    if (node->is_leaf) {
+      if (!node->children.empty()) {
+        return Status::Internal(
+            StrCat("btree: leaf at depth ", f.depth, " has ",
+                   node->children.size(), " children"));
+      }
+      if (stats.leaf_depth == 0) {
+        stats.leaf_depth = f.depth;
+      } else if (f.depth != stats.leaf_depth) {
+        return Status::Internal(StrCat("btree: leaf depth not uniform: found ",
+                                       f.depth, ", expected ",
+                                       stats.leaf_depth));
+      }
+      leaves_in_order.push_back(node);
+    } else {
+      if (node->children.size() != node->entries.size() + 1) {
+        return Status::Internal(StrCat(
+            "btree: internal node at depth ", f.depth, " has ",
+            node->children.size(), " children for ", node->entries.size(),
+            " separators (want separators + 1)"));
+      }
+      if (node->entries.empty()) {
+        return Status::Internal(StrCat(
+            "btree: internal node at depth ", f.depth, " has no separators"));
+      }
+      // Child key ranges respect separators (first/last entries suffice
+      // because per-node ordering is checked independently).
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        const Node* child = node->children[i].get();
+        if (child == nullptr) {
+          return Status::Internal(StrCat("btree: null child ", i,
+                                         " under internal node at depth ",
+                                         f.depth));
+        }
+        if (!child->entries.empty()) {
+          if (i > 0) {
+            const Entry& sep = node->entries[i - 1];
+            if (CompareEntry(child->entries.front().key,
+                             child->entries.front().rid, sep.key,
+                             sep.rid) < 0) {
+              return Status::Internal(StrCat(
+                  "btree: child ", i, " at depth ", f.depth + 1,
+                  " starts below its left separator"));
+            }
+          }
+          if (i < node->entries.size()) {
+            const Entry& sep = node->entries[i];
+            if (CompareEntry(child->entries.back().key,
+                             child->entries.back().rid, sep.key,
+                             sep.rid) >= 0) {
+              return Status::Internal(StrCat(
+                  "btree: child ", i, " at depth ", f.depth + 1,
+                  " reaches past its right separator"));
+            }
+          }
         }
       }
-      if (i < node->entries.size()) {
-        const Entry& sep = node->entries[i];
-        if (CompareEntry(child->entries.back().key, child->entries.back().rid,
-                         sep.key, sep.rid) >= 0) {
-          return false;
-        }
+      // Push right-to-left so leaves_in_order comes out left-to-right.
+      for (size_t i = node->children.size(); i > 0; --i) {
+        todo.push_back({node->children[i - 1].get(), f.depth + 1});
       }
     }
   }
-  return true;
+
+  // Reported stats vs the fresh walk.
+  if (stats.leaf_depth != height_) {
+    return Status::Internal(StrCat("btree: reported height ", height_,
+                                   " but leaves sit at depth ",
+                                   stats.leaf_depth));
+  }
+  if (stats.nodes != num_nodes_) {
+    return Status::Internal(StrCat("btree: reported num_nodes ", num_nodes_,
+                                   " but walk found ", stats.nodes));
+  }
+  if (stats.entries != num_entries_) {
+    return Status::Internal(StrCat("btree: reported num_entries ",
+                                   num_entries_, " but leaves hold ",
+                                   stats.entries));
+  }
+
+  // Leaf chain: next pointers must visit exactly the recursive-order
+  // leaves, prev pointers must mirror them, and the chained entries must
+  // be globally sorted.
+  const Node* chained = leaves_in_order.empty() ? nullptr : leaves_in_order[0];
+  if (chained != nullptr && chained->prev != nullptr) {
+    return Status::Internal("btree: leftmost leaf has a prev pointer");
+  }
+  size_t pos = 0;
+  const Entry* prev_entry = nullptr;
+  while (chained != nullptr) {
+    if (pos >= leaves_in_order.size() || chained != leaves_in_order[pos]) {
+      return Status::Internal(StrCat(
+          "btree: leaf chain diverges from tree order at chain position ",
+          pos));
+    }
+    if (chained->next != nullptr && chained->next->prev != chained) {
+      return Status::Internal(StrCat(
+          "btree: leaf chain prev/next asymmetry at chain position ", pos));
+    }
+    for (const Entry& e : chained->entries) {
+      if (prev_entry != nullptr &&
+          CompareEntry(prev_entry->key, prev_entry->rid, e.key, e.rid) > 0) {
+        return Status::Internal(StrCat(
+            "btree: leaf chain not globally sorted at chain position ", pos));
+      }
+      prev_entry = &e;
+    }
+    chained = chained->next;
+    ++pos;
+  }
+  if (pos != leaves_in_order.size()) {
+    return Status::Internal(StrCat("btree: leaf chain covers ", pos,
+                                   " leaves but the tree has ",
+                                   leaves_in_order.size()));
+  }
+  return Status::Ok();
 }
 
-bool BTree::CheckInvariants() const {
-  // All leaves at the same depth.
-  size_t leaf_depth = 1;
-  const Node* n = root_.get();
-  while (!n->is_leaf) {
-    n = n->children[0].get();
-    ++leaf_depth;
-  }
-  if (leaf_depth != height_) return false;
-  if (!CheckNode(root_.get(), 1, leaf_depth)) return false;
-  // Leaf chain is globally sorted and covers exactly num_entries_ live
-  // entries reachable from the leftmost leaf.
-  const Node* leaf = root_.get();
+bool BTree::TestOnlyCorruptLeafOrder() {
+  // Find a leaf with two distinct entries and swap them.
+  Node* leaf = root_.get();
   while (!leaf->is_leaf) leaf = leaf->children[0].get();
-  size_t count = 0;
-  const Entry* prev = nullptr;
-  while (leaf != nullptr) {
-    for (const Entry& e : leaf->entries) {
-      if (prev != nullptr &&
-          CompareEntry(prev->key, prev->rid, e.key, e.rid) > 0) {
-        return false;
+  for (; leaf != nullptr; leaf = leaf->next) {
+    for (size_t i = 1; i < leaf->entries.size(); ++i) {
+      if (CompareEntry(leaf->entries[i - 1].key, leaf->entries[i - 1].rid,
+                       leaf->entries[i].key, leaf->entries[i].rid) != 0) {
+        std::swap(leaf->entries[i - 1], leaf->entries[i]);
+        return true;
       }
-      prev = &e;
-      ++count;
     }
-    leaf = leaf->next;
   }
-  return count == num_entries_;
+  return false;
+}
+
+bool BTree::TestOnlyBreakLeafChain() {
+  Node* leaf = root_.get();
+  while (!leaf->is_leaf) leaf = leaf->children[0].get();
+  if (leaf->next == nullptr) return false;
+  leaf->next = nullptr;
+  return true;
 }
 
 }  // namespace autoindex

@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_INDEX_BTREE_H_
-#define AUTOINDEX_INDEX_BTREE_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -8,6 +7,7 @@
 
 #include "storage/table.h"
 #include "storage/value.h"
+#include "util/status.h"
 
 namespace autoindex {
 
@@ -23,7 +23,8 @@ int CompareRowPrefix(const Row& a, const Row& b, size_t prefix_len);
 // Deletion is lazy at the structural level: entries are removed from leaves
 // but underfull nodes are not merged (the common strategy in production
 // B-trees, cf. PostgreSQL nbtree which only reclaims fully-empty pages).
-// Fully empty leaves are unlinked.
+// Fully empty leaves stay linked in the chain — the parent still routes
+// inserts to them — and scans skip them for free.
 class BTree {
  public:
   // `leaf_capacity` / `internal_capacity` entries per node; computed by the
@@ -69,9 +70,26 @@ class BTree {
 
   size_t leaf_capacity() const { return leaf_capacity_; }
 
-  // Structural invariant check for tests: keys sorted within nodes, leaf
-  // chain ordered, separator keys consistent, all leaves at equal depth.
-  bool CheckInvariants() const;
+  // Deep structural validation with a precise failure message: keys sorted
+  // within nodes, child/fanout shape, separator key-range containment,
+  // uniform leaf depth, leaf-chain connectivity (next/prev symmetric,
+  // covers every leaf in order), node-capacity bounds, and reported
+  // height/num_nodes/num_entries matching a fresh walk. Ok() when healthy;
+  // Internal with a message naming the first violated invariant otherwise.
+  Status ValidateStructure() const;
+
+  // Structural invariant check for tests: true iff ValidateStructure()
+  // reports no issue.
+  bool CheckInvariants() const { return ValidateStructure().ok(); }
+
+  // --- Test-only corruption hooks -----------------------------------
+  // Used by check_test to prove the validators detect real damage (an
+  // always-green checker is worse than none). Never call outside tests.
+  // Each returns false when the tree is too small to stage the corruption.
+  bool TestOnlyCorruptLeafOrder();   // swaps two entries in a leaf
+  bool TestOnlyBreakLeafChain();     // severs one leaf's next pointer
+  void TestOnlySetNumEntries(size_t n) { num_entries_ = n; }
+  void TestOnlySetHeight(size_t h) { height_ = h; }
 
  private:
   struct Node;
@@ -81,7 +99,6 @@ class BTree {
                  std::vector<Node*>* path = nullptr) const;
   void SplitChild(Node* parent, size_t child_idx);
   void InsertNonFull(Node* node, const Row& key, RowId rid);
-  bool CheckNode(const Node* node, size_t depth, size_t leaf_depth) const;
 
   std::unique_ptr<Node> root_;
   size_t leaf_capacity_;
@@ -93,5 +110,3 @@ class BTree {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_INDEX_BTREE_H_

@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_INDEX_INDEX_DEF_H_
-#define AUTOINDEX_INDEX_INDEX_DEF_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -67,5 +66,3 @@ size_t EstimateIndexHeight(size_t num_rows, size_t key_width);
 size_t LeafCapacityForWidth(size_t key_width);
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_INDEX_INDEX_DEF_H_

@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_INDEX_INDEX_MANAGER_H_
-#define AUTOINDEX_INDEX_INDEX_MANAGER_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -151,5 +150,3 @@ class IndexManager {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_INDEX_INDEX_MANAGER_H_

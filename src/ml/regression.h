@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_ML_REGRESSION_H_
-#define AUTOINDEX_ML_REGRESSION_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -69,5 +68,3 @@ class SigmoidRegression {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_ML_REGRESSION_H_

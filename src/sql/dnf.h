@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_SQL_DNF_H_
-#define AUTOINDEX_SQL_DNF_H_
+#pragma once
 
 #include <vector>
 
@@ -27,5 +26,3 @@ std::vector<DnfConjunction> ToDnf(const Expr& expr,
 bool ExtractConjunctionAtoms(const Expr& expr, std::vector<const Expr*>* out);
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_SQL_DNF_H_

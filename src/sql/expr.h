@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_SQL_EXPR_H_
-#define AUTOINDEX_SQL_EXPR_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -105,5 +104,3 @@ class ColumnResolver {
 bool EvaluatePredicate(const Expr& expr, const ColumnResolver& resolver);
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_SQL_EXPR_H_

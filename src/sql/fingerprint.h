@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_SQL_FINGERPRINT_H_
-#define AUTOINDEX_SQL_FINGERPRINT_H_
+#pragma once
 
 #include <string>
 
@@ -20,5 +19,3 @@ std::string FingerprintSql(const std::string& sql);
 uint64_t FingerprintHash(const std::string& sql);
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_SQL_FINGERPRINT_H_

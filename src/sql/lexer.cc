@@ -8,16 +8,15 @@
 namespace autoindex {
 
 bool IsSqlKeyword(const std::string& upper_word) {
-  static const std::unordered_set<std::string>* const kKeywords =
-      new std::unordered_set<std::string>({
-          "SELECT", "FROM",  "WHERE",  "AND",    "OR",     "NOT",
-          "INSERT", "INTO",  "VALUES", "UPDATE", "SET",    "DELETE",
-          "GROUP",  "ORDER", "BY",     "ASC",    "DESC",   "LIMIT",
-          "JOIN",   "INNER", "ON",     "AS",     "BETWEEN", "IN",
-          "IS",     "NULL",  "LIKE",   "COUNT",  "SUM",    "AVG",
-          "MIN",    "MAX",   "DISTINCT",
-      });
-  return kKeywords->count(upper_word) > 0;
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM",  "WHERE",  "AND",    "OR",     "NOT",
+      "INSERT", "INTO",  "VALUES", "UPDATE", "SET",    "DELETE",
+      "GROUP",  "ORDER", "BY",     "ASC",    "DESC",   "LIMIT",
+      "JOIN",   "INNER", "ON",     "AS",     "BETWEEN", "IN",
+      "IS",     "NULL",  "LIKE",   "COUNT",  "SUM",    "AVG",
+      "MIN",    "MAX",   "DISTINCT",
+  };
+  return kKeywords.count(upper_word) > 0;
 }
 
 StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {

@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_SQL_LEXER_H_
-#define AUTOINDEX_SQL_LEXER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -18,5 +17,3 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
 bool IsSqlKeyword(const std::string& upper_word);
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_SQL_LEXER_H_

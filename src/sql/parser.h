@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_SQL_PARSER_H_
-#define AUTOINDEX_SQL_PARSER_H_
+#pragma once
 
 #include <string>
 
@@ -24,5 +23,3 @@ namespace autoindex {
 StatusOr<Statement> ParseSql(const std::string& sql);
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_SQL_PARSER_H_

@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_SQL_STATEMENT_H_
-#define AUTOINDEX_SQL_STATEMENT_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -102,5 +101,3 @@ struct Statement {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_SQL_STATEMENT_H_

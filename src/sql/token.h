@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_SQL_TOKEN_H_
-#define AUTOINDEX_SQL_TOKEN_H_
+#pragma once
 
 #include <string>
 
@@ -32,5 +31,3 @@ struct Token {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_SQL_TOKEN_H_

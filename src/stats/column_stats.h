@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_STATS_COLUMN_STATS_H_
-#define AUTOINDEX_STATS_COLUMN_STATS_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -63,5 +62,3 @@ class ColumnStats {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_STATS_COLUMN_STATS_H_

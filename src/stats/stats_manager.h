@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_STATS_STATS_MANAGER_H_
-#define AUTOINDEX_STATS_STATS_MANAGER_H_
+#pragma once
 
 #include <string>
 #include <unordered_map>
@@ -52,5 +51,3 @@ class StatsManager {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_STATS_STATS_MANAGER_H_

@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_STORAGE_CATALOG_H_
-#define AUTOINDEX_STORAGE_CATALOG_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -40,5 +39,3 @@ class Catalog {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_STORAGE_CATALOG_H_

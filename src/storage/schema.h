@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_STORAGE_SCHEMA_H_
-#define AUTOINDEX_STORAGE_SCHEMA_H_
+#pragma once
 
 #include <string>
 #include <unordered_map>
@@ -49,5 +48,3 @@ class Schema {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_STORAGE_SCHEMA_H_

@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_STORAGE_TABLE_H_
-#define AUTOINDEX_STORAGE_TABLE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -90,6 +89,18 @@ class HeapTable {
     }
   }
 
+  // --- Test-only corruption hooks -----------------------------------
+  // Let check_test damage the slot accounting to prove the heap validator
+  // detects it (see src/check/). Never call outside tests.
+  void TestOnlySetLiveRows(size_t n) { live_rows_ = n; }
+  // Drops the last column of a live row, breaking schema arity; false if
+  // the slot is dead, out of range, or already empty.
+  bool TestOnlyTruncateRow(RowId rid) {
+    if (!IsLive(rid) || rows_[rid].empty()) return false;
+    rows_[rid].pop_back();
+    return true;
+  }
+
  private:
   std::string name_;
   Schema schema_;
@@ -102,5 +113,3 @@ class HeapTable {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_STORAGE_TABLE_H_

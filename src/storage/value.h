@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_STORAGE_VALUE_H_
-#define AUTOINDEX_STORAGE_VALUE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -75,5 +74,3 @@ size_t HashRow(const Row& row);
 int CompareRows(const Row& a, const Row& b);
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_STORAGE_VALUE_H_

@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_UTIL_RANDOM_H_
-#define AUTOINDEX_UTIL_RANDOM_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -72,5 +71,3 @@ class Random {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_UTIL_RANDOM_H_

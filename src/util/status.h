@@ -1,6 +1,7 @@
-#ifndef AUTOINDEX_UTIL_STATUS_H_
-#define AUTOINDEX_UTIL_STATUS_H_
+#pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <utility>
@@ -21,8 +22,10 @@ enum class StatusCode {
 };
 
 // A lightweight absl::Status-like result carrier. Copyable, cheap for the
-// kOk case (no allocation).
-class Status {
+// kOk case (no allocation). [[nodiscard]] so that dropping an error on the
+// floor requires an explicit (void) cast — scripts/lint.py enforces the
+// same rule textually for toolchains that miss the attribute.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -85,6 +88,19 @@ class StatusOr {
   std::optional<T> value_;
 };
 
-}  // namespace autoindex
+// Aborts the process when a status is not OK. For scaffolding code whose
+// failures are programming errors (workload populate with a fixed schema,
+// example setup) where no caller can act on the error: aborting loudly
+// beats threading a Status through a void API or dropping it silently.
+inline void CheckOk(const Status& status) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "CheckOk failed: %s\n", status.ToString().c_str());
+  std::abort();
+}
 
-#endif  // AUTOINDEX_UTIL_STATUS_H_
+template <typename T>
+void CheckOk(const StatusOr<T>& status_or) {
+  CheckOk(status_or.status());
+}
+
+}  // namespace autoindex

@@ -1,6 +1,6 @@
-#ifndef AUTOINDEX_UTIL_STRING_UTIL_H_
-#define AUTOINDEX_UTIL_STRING_UTIL_H_
+#pragma once
 
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,6 +26,14 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 // printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
-}  // namespace autoindex
+// Concatenates ostream-able parts: StrCat("n=", 7, "!") == "n=7!". Used
+// for diagnostics where the argument list is heterogeneous and StrFormat's
+// format string would be all placeholders.
+template <typename... Args>
+std::string StrCat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
 
-#endif  // AUTOINDEX_UTIL_STRING_UTIL_H_
+}  // namespace autoindex

@@ -1,6 +1,7 @@
 #include "workload/banking.h"
 
 #include "util/random.h"
+#include "util/status.h"
 #include "util/string_util.h"
 
 namespace autoindex {
@@ -14,15 +15,15 @@ void BankingWorkload::Populate(Database* db, const BankingConfig& config) {
   for (int t = 0; t < config.num_tables; ++t) {
     // Every table shares the account-ish layout; the workload only knows
     // about a hot subset.
-    db->CreateTable(TableName(t),
-                    Schema({{"id", ValueType::kInt},
-                            {"cust_id", ValueType::kInt},
-                            {"branch_id", ValueType::kInt},
-                            {"amount", ValueType::kDouble},
-                            {"status", ValueType::kInt},
-                            {"ts", ValueType::kInt},
-                            {"category", ValueType::kInt},
-                            {"note", ValueType::kString, 20}}));
+    CheckOk(db->CreateTable(TableName(t),
+                            Schema({{"id", ValueType::kInt},
+                                    {"cust_id", ValueType::kInt},
+                                    {"branch_id", ValueType::kInt},
+                                    {"amount", ValueType::kDouble},
+                                    {"status", ValueType::kInt},
+                                    {"ts", ValueType::kInt},
+                                    {"category", ValueType::kInt},
+                                    {"note", ValueType::kString, 20}})));
     const int rows = t < config.hot_tables ? config.rows_hot
                                            : config.rows_cold;
     std::vector<Row> data;
@@ -37,7 +38,7 @@ void BankingWorkload::Populate(Database* db, const BankingConfig& config) {
                       Value(int64_t(rng.Uniform(20))),
                       Value(rng.NextName(12))});
     }
-    db->BulkInsert(TableName(t), std::move(data));
+    CheckOk(db->BulkInsert(TableName(t), std::move(data)));
   }
   db->Analyze();
 }
@@ -103,7 +104,7 @@ std::vector<IndexDef> BankingWorkload::ManualIndexes(
 void BankingWorkload::CreateManualIndexes(Database* db,
                                           const BankingConfig& config) {
   for (const IndexDef& def : ManualIndexes(config)) {
-    db->CreateIndex(def);
+    CheckOk(db->CreateIndex(def));
   }
 }
 

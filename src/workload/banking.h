@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_WORKLOAD_BANKING_H_
-#define AUTOINDEX_WORKLOAD_BANKING_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -52,5 +51,3 @@ class BankingWorkload {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_WORKLOAD_BANKING_H_

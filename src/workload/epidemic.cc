@@ -1,6 +1,7 @@
 #include "workload/epidemic.h"
 
 #include "util/random.h"
+#include "util/status.h"
 #include "util/string_util.h"
 
 namespace autoindex {
@@ -14,11 +15,11 @@ std::string PersonName(uint64_t i) {
 
 void EpidemicWorkload::Populate(Database* db, const EpidemicConfig& config) {
   Random rng(config.seed);
-  db->CreateTable("people", Schema({{"name", ValueType::kString, 16},
-                                    {"community", ValueType::kInt},
-                                    {"temperature", ValueType::kDouble},
-                                    {"phone", ValueType::kInt},
-                                    {"tested", ValueType::kInt}}));
+  CheckOk(db->CreateTable("people", Schema({{"name", ValueType::kString, 16},
+                                            {"community", ValueType::kInt},
+                                            {"temperature", ValueType::kDouble},
+                                            {"phone", ValueType::kInt},
+                                            {"tested", ValueType::kInt}})));
   std::vector<Row> rows;
   rows.reserve(config.people);
   for (int i = 0; i < config.people; ++i) {
@@ -28,7 +29,7 @@ void EpidemicWorkload::Populate(Database* db, const EpidemicConfig& config) {
                     Value(int64_t(rng.Uniform(10000000))),
                     Value(int64_t(rng.Bernoulli(0.2) ? 1 : 0))});
   }
-  db->BulkInsert("people", std::move(rows));
+  CheckOk(db->BulkInsert("people", std::move(rows)));
   db->Analyze();
 }
 

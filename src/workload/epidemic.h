@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_WORKLOAD_EPIDEMIC_H_
-#define AUTOINDEX_WORKLOAD_EPIDEMIC_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -34,5 +33,3 @@ class EpidemicWorkload {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_WORKLOAD_EPIDEMIC_H_

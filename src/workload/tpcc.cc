@@ -1,6 +1,7 @@
 #include "workload/tpcc.h"
 
 #include "util/random.h"
+#include "util/status.h"
 #include "util/string_util.h"
 
 namespace autoindex {
@@ -20,55 +21,55 @@ std::string LastName(uint64_t i) {
 void TpccWorkload::Populate(Database* db, const TpccConfig& config) {
   Random rng(config.seed);
 
-  db->CreateTable("warehouse", Schema({{"w_id", ValueType::kInt},
-                                       {"w_name", ValueType::kString, 12},
-                                       {"w_state", ValueType::kString, 4},
-                                       {"w_ytd", ValueType::kDouble}}));
-  db->CreateTable("district", Schema({{"d_id", ValueType::kInt},
-                                      {"d_w_id", ValueType::kInt},
-                                      {"d_name", ValueType::kString, 12},
-                                      {"d_next_o_id", ValueType::kInt},
-                                      {"d_ytd", ValueType::kDouble}}));
-  db->CreateTable("customer", Schema({{"c_id", ValueType::kInt},
-                                      {"c_d_id", ValueType::kInt},
-                                      {"c_w_id", ValueType::kInt},
-                                      {"c_last", ValueType::kString, 14},
-                                      {"c_first", ValueType::kString, 12},
-                                      {"c_balance", ValueType::kDouble},
-                                      {"c_ytd_payment", ValueType::kDouble},
-                                      {"c_credit", ValueType::kString, 4}}));
-  db->CreateTable("history", Schema({{"h_c_id", ValueType::kInt},
-                                     {"h_d_id", ValueType::kInt},
-                                     {"h_w_id", ValueType::kInt},
-                                     {"h_amount", ValueType::kDouble},
-                                     {"h_date", ValueType::kInt}}));
-  db->CreateTable("neworder", Schema({{"no_o_id", ValueType::kInt},
-                                      {"no_d_id", ValueType::kInt},
-                                      {"no_w_id", ValueType::kInt}}));
-  db->CreateTable("orders", Schema({{"o_id", ValueType::kInt},
-                                    {"o_d_id", ValueType::kInt},
-                                    {"o_w_id", ValueType::kInt},
-                                    {"o_c_id", ValueType::kInt},
-                                    {"o_entry_d", ValueType::kInt},
-                                    {"o_carrier_id", ValueType::kInt},
-                                    {"o_ol_cnt", ValueType::kInt}}));
-  db->CreateTable("orderline", Schema({{"ol_o_id", ValueType::kInt},
-                                       {"ol_d_id", ValueType::kInt},
-                                       {"ol_w_id", ValueType::kInt},
-                                       {"ol_number", ValueType::kInt},
-                                       {"ol_i_id", ValueType::kInt},
-                                       {"ol_quantity", ValueType::kInt},
-                                       {"ol_amount", ValueType::kDouble}}));
-  db->CreateTable("item", Schema({{"i_id", ValueType::kInt},
-                                  {"i_name", ValueType::kString, 16},
-                                  {"i_price", ValueType::kDouble},
-                                  {"i_data", ValueType::kString, 24}}));
-  db->CreateTable("stock", Schema({{"s_i_id", ValueType::kInt},
-                                   {"s_w_id", ValueType::kInt},
-                                   {"s_quantity", ValueType::kInt},
-                                   {"s_ytd", ValueType::kDouble},
-                                   {"s_order_cnt", ValueType::kInt},
-                                   {"s_quality", ValueType::kInt}}));
+  CheckOk(db->CreateTable("warehouse", Schema({{"w_id", ValueType::kInt},
+                                               {"w_name", ValueType::kString, 12},
+                                               {"w_state", ValueType::kString, 4},
+                                               {"w_ytd", ValueType::kDouble}})));
+  CheckOk(db->CreateTable("district", Schema({{"d_id", ValueType::kInt},
+                                              {"d_w_id", ValueType::kInt},
+                                              {"d_name", ValueType::kString, 12},
+                                              {"d_next_o_id", ValueType::kInt},
+                                              {"d_ytd", ValueType::kDouble}})));
+  CheckOk(db->CreateTable("customer", Schema({{"c_id", ValueType::kInt},
+                                              {"c_d_id", ValueType::kInt},
+                                              {"c_w_id", ValueType::kInt},
+                                              {"c_last", ValueType::kString, 14},
+                                              {"c_first", ValueType::kString, 12},
+                                              {"c_balance", ValueType::kDouble},
+                                              {"c_ytd_payment", ValueType::kDouble},
+                                              {"c_credit", ValueType::kString, 4}})));
+  CheckOk(db->CreateTable("history", Schema({{"h_c_id", ValueType::kInt},
+                                             {"h_d_id", ValueType::kInt},
+                                             {"h_w_id", ValueType::kInt},
+                                             {"h_amount", ValueType::kDouble},
+                                             {"h_date", ValueType::kInt}})));
+  CheckOk(db->CreateTable("neworder", Schema({{"no_o_id", ValueType::kInt},
+                                              {"no_d_id", ValueType::kInt},
+                                              {"no_w_id", ValueType::kInt}})));
+  CheckOk(db->CreateTable("orders", Schema({{"o_id", ValueType::kInt},
+                                            {"o_d_id", ValueType::kInt},
+                                            {"o_w_id", ValueType::kInt},
+                                            {"o_c_id", ValueType::kInt},
+                                            {"o_entry_d", ValueType::kInt},
+                                            {"o_carrier_id", ValueType::kInt},
+                                            {"o_ol_cnt", ValueType::kInt}})));
+  CheckOk(db->CreateTable("orderline", Schema({{"ol_o_id", ValueType::kInt},
+                                               {"ol_d_id", ValueType::kInt},
+                                               {"ol_w_id", ValueType::kInt},
+                                               {"ol_number", ValueType::kInt},
+                                               {"ol_i_id", ValueType::kInt},
+                                               {"ol_quantity", ValueType::kInt},
+                                               {"ol_amount", ValueType::kDouble}})));
+  CheckOk(db->CreateTable("item", Schema({{"i_id", ValueType::kInt},
+                                          {"i_name", ValueType::kString, 16},
+                                          {"i_price", ValueType::kDouble},
+                                          {"i_data", ValueType::kString, 24}})));
+  CheckOk(db->CreateTable("stock", Schema({{"s_i_id", ValueType::kInt},
+                                           {"s_w_id", ValueType::kInt},
+                                           {"s_quantity", ValueType::kInt},
+                                           {"s_ytd", ValueType::kDouble},
+                                           {"s_order_cnt", ValueType::kInt},
+                                           {"s_quality", ValueType::kInt}})));
 
   // --- population ---
   std::vector<Row> rows;
@@ -76,7 +77,7 @@ void TpccWorkload::Populate(Database* db, const TpccConfig& config) {
     rows.push_back({Value(int64_t(w)), Value(rng.NextName(8)),
                     Value(rng.NextName(2)), Value(0.0)});
   }
-  db->BulkInsert("warehouse", std::move(rows));
+  CheckOk(db->BulkInsert("warehouse", std::move(rows)));
 
   rows.clear();
   for (int w = 1; w <= config.warehouses; ++w) {
@@ -87,7 +88,7 @@ void TpccWorkload::Populate(Database* db, const TpccConfig& config) {
                       Value(0.0)});
     }
   }
-  db->BulkInsert("district", std::move(rows));
+  CheckOk(db->BulkInsert("district", std::move(rows)));
 
   rows.clear();
   for (int w = 1; w <= config.warehouses; ++w) {
@@ -101,7 +102,7 @@ void TpccWorkload::Populate(Database* db, const TpccConfig& config) {
       }
     }
   }
-  db->BulkInsert("customer", std::move(rows));
+  CheckOk(db->BulkInsert("customer", std::move(rows)));
 
   rows.clear();
   for (int i = 1; i <= config.items; ++i) {
@@ -109,7 +110,7 @@ void TpccWorkload::Populate(Database* db, const TpccConfig& config) {
                     Value(1.0 + rng.NextDouble() * 99.0),
                     Value(rng.NextName(16))});
   }
-  db->BulkInsert("item", std::move(rows));
+  CheckOk(db->BulkInsert("item", std::move(rows)));
 
   rows.clear();
   for (int w = 1; w <= config.warehouses; ++w) {
@@ -120,7 +121,7 @@ void TpccWorkload::Populate(Database* db, const TpccConfig& config) {
                       Value(int64_t(rng.Uniform(100)))});
     }
   }
-  db->BulkInsert("stock", std::move(rows));
+  CheckOk(db->BulkInsert("stock", std::move(rows)));
 
   std::vector<Row> order_rows, ol_rows, no_rows;
   for (int w = 1; w <= config.warehouses; ++w) {
@@ -150,9 +151,9 @@ void TpccWorkload::Populate(Database* db, const TpccConfig& config) {
       }
     }
   }
-  db->BulkInsert("orders", std::move(order_rows));
-  db->BulkInsert("orderline", std::move(ol_rows));
-  db->BulkInsert("neworder", std::move(no_rows));
+  CheckOk(db->BulkInsert("orders", std::move(order_rows)));
+  CheckOk(db->BulkInsert("orderline", std::move(ol_rows)));
+  CheckOk(db->BulkInsert("neworder", std::move(no_rows)));
   db->Analyze();
 }
 
@@ -175,7 +176,7 @@ std::vector<IndexDef> TpccWorkload::DefaultIndexes() {
 }
 
 void TpccWorkload::CreateDefaultIndexes(Database* db) {
-  for (const IndexDef& def : DefaultIndexes()) db->CreateIndex(def);
+  for (const IndexDef& def : DefaultIndexes()) CheckOk(db->CreateIndex(def));
 }
 
 std::vector<std::string> TpccWorkload::Generate(const TpccConfig& config,

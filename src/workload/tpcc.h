@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_WORKLOAD_TPCC_H_
-#define AUTOINDEX_WORKLOAD_TPCC_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -54,5 +53,3 @@ class TpccWorkload {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_WORKLOAD_TPCC_H_

@@ -1,6 +1,7 @@
 #include "workload/tpcds.h"
 
 #include "util/random.h"
+#include "util/status.h"
 #include "util/string_util.h"
 
 namespace autoindex {
@@ -15,35 +16,35 @@ constexpr const char* kStates[] = {"ca", "ny", "tx", "wa", "fl", "il"};
 void TpcdsWorkload::Populate(Database* db, const TpcdsConfig& config) {
   Random rng(config.seed);
 
-  db->CreateTable("date_dim", Schema({{"d_date_sk", ValueType::kInt},
-                                      {"d_year", ValueType::kInt},
-                                      {"d_moy", ValueType::kInt},
-                                      {"d_dom", ValueType::kInt},
-                                      {"d_qoy", ValueType::kInt}}));
-  db->CreateTable("ds_item", Schema({{"i_item_sk", ValueType::kInt},
-                                     {"i_manufact_id", ValueType::kInt},
-                                     {"i_category", ValueType::kString, 12},
-                                     {"i_brand_id", ValueType::kInt},
-                                     {"i_current_price", ValueType::kDouble}}));
-  db->CreateTable("ds_customer", Schema({{"c_customer_sk", ValueType::kInt},
-                                         {"c_birth_year", ValueType::kInt},
-                                         {"c_state", ValueType::kString, 4},
-                                         {"c_preferred", ValueType::kInt}}));
-  db->CreateTable("store", Schema({{"st_store_sk", ValueType::kInt},
-                                   {"st_state", ValueType::kString, 4},
-                                   {"st_floor_space", ValueType::kInt}}));
-  db->CreateTable("promotion", Schema({{"p_promo_sk", ValueType::kInt},
-                                       {"p_channel", ValueType::kString, 8},
-                                       {"p_cost", ValueType::kDouble}}));
-  db->CreateTable("store_sales",
-                  Schema({{"ss_sold_date_sk", ValueType::kInt},
-                          {"ss_item_sk", ValueType::kInt},
-                          {"ss_customer_sk", ValueType::kInt},
-                          {"ss_store_sk", ValueType::kInt},
-                          {"ss_promo_sk", ValueType::kInt},
-                          {"ss_quantity", ValueType::kInt},
-                          {"ss_sales_price", ValueType::kDouble},
-                          {"ss_net_profit", ValueType::kDouble}}));
+  CheckOk(db->CreateTable("date_dim", Schema({{"d_date_sk", ValueType::kInt},
+                                              {"d_year", ValueType::kInt},
+                                              {"d_moy", ValueType::kInt},
+                                              {"d_dom", ValueType::kInt},
+                                              {"d_qoy", ValueType::kInt}})));
+  CheckOk(db->CreateTable("ds_item", Schema({{"i_item_sk", ValueType::kInt},
+                                             {"i_manufact_id", ValueType::kInt},
+                                             {"i_category", ValueType::kString, 12},
+                                             {"i_brand_id", ValueType::kInt},
+                                             {"i_current_price", ValueType::kDouble}})));
+  CheckOk(db->CreateTable("ds_customer", Schema({{"c_customer_sk", ValueType::kInt},
+                                                 {"c_birth_year", ValueType::kInt},
+                                                 {"c_state", ValueType::kString, 4},
+                                                 {"c_preferred", ValueType::kInt}})));
+  CheckOk(db->CreateTable("store", Schema({{"st_store_sk", ValueType::kInt},
+                                           {"st_state", ValueType::kString, 4},
+                                           {"st_floor_space", ValueType::kInt}})));
+  CheckOk(db->CreateTable("promotion", Schema({{"p_promo_sk", ValueType::kInt},
+                                               {"p_channel", ValueType::kString, 8},
+                                               {"p_cost", ValueType::kDouble}})));
+  CheckOk(db->CreateTable("store_sales",
+                          Schema({{"ss_sold_date_sk", ValueType::kInt},
+                                  {"ss_item_sk", ValueType::kInt},
+                                  {"ss_customer_sk", ValueType::kInt},
+                                  {"ss_store_sk", ValueType::kInt},
+                                  {"ss_promo_sk", ValueType::kInt},
+                                  {"ss_quantity", ValueType::kInt},
+                                  {"ss_sales_price", ValueType::kDouble},
+                                  {"ss_net_profit", ValueType::kDouble}})));
 
   std::vector<Row> rows;
   for (int i = 1; i <= config.dates; ++i) {
@@ -52,7 +53,7 @@ void TpcdsWorkload::Populate(Database* db, const TpcdsConfig& config) {
                     Value(int64_t(1 + i % 28)),
                     Value(int64_t(1 + ((i / 30) % 12) / 3))});
   }
-  db->BulkInsert("date_dim", std::move(rows));
+  CheckOk(db->BulkInsert("date_dim", std::move(rows)));
 
   rows.clear();
   for (int i = 1; i <= config.items; ++i) {
@@ -63,7 +64,7 @@ void TpcdsWorkload::Populate(Database* db, const TpcdsConfig& config) {
          Value(int64_t(1 + rng.Uniform(config.NumBrands()))),
          Value(0.5 + rng.NextDouble() * 199.5)});
   }
-  db->BulkInsert("ds_item", std::move(rows));
+  CheckOk(db->BulkInsert("ds_item", std::move(rows)));
 
   rows.clear();
   for (int i = 1; i <= config.customers; ++i) {
@@ -72,21 +73,21 @@ void TpcdsWorkload::Populate(Database* db, const TpcdsConfig& config) {
                     Value(std::string(kStates[rng.Uniform(6)])),
                     Value(int64_t(rng.Bernoulli(0.3) ? 1 : 0))});
   }
-  db->BulkInsert("ds_customer", std::move(rows));
+  CheckOk(db->BulkInsert("ds_customer", std::move(rows)));
 
   rows.clear();
   for (int i = 1; i <= config.stores; ++i) {
     rows.push_back({Value(int64_t(i)), Value(std::string(kStates[rng.Uniform(6)])),
                     Value(int64_t(1000 + rng.Uniform(9000)))});
   }
-  db->BulkInsert("store", std::move(rows));
+  CheckOk(db->BulkInsert("store", std::move(rows)));
 
   rows.clear();
   for (int i = 1; i <= config.promotions; ++i) {
     rows.push_back({Value(int64_t(i)), Value(rng.NextName(6)),
                     Value(rng.NextDouble() * 1000)});
   }
-  db->BulkInsert("promotion", std::move(rows));
+  CheckOk(db->BulkInsert("promotion", std::move(rows)));
 
   rows.clear();
   rows.reserve(config.sales_rows);
@@ -105,7 +106,7 @@ void TpcdsWorkload::Populate(Database* db, const TpcdsConfig& config) {
                     Value(rng.NextDouble() * 300),
                     Value(rng.NextDouble() * 120 - 20)});
   }
-  db->BulkInsert("store_sales", std::move(rows));
+  CheckOk(db->BulkInsert("store_sales", std::move(rows)));
   db->Analyze();
 }
 
@@ -120,7 +121,7 @@ std::vector<IndexDef> TpcdsWorkload::DefaultIndexes() {
 }
 
 void TpcdsWorkload::CreateDefaultIndexes(Database* db) {
-  for (const IndexDef& def : DefaultIndexes()) db->CreateIndex(def);
+  for (const IndexDef& def : DefaultIndexes()) CheckOk(db->CreateIndex(def));
 }
 
 std::string TpcdsWorkload::Query(int qid, const TpcdsConfig& config,

@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_WORKLOAD_TPCDS_H_
-#define AUTOINDEX_WORKLOAD_TPCDS_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -54,5 +53,3 @@ class TpcdsWorkload {
 };
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_WORKLOAD_TPCDS_H_

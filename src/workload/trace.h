@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_WORKLOAD_TRACE_H_
-#define AUTOINDEX_WORKLOAD_TRACE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -20,5 +19,3 @@ StatusOr<std::vector<std::string>> LoadWorkloadTrace(
     const std::string& path);
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_WORKLOAD_TRACE_H_

@@ -1,5 +1,4 @@
-#ifndef AUTOINDEX_WORKLOAD_WORKLOAD_H_
-#define AUTOINDEX_WORKLOAD_WORKLOAD_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -44,5 +43,3 @@ void ObserveWorkload(AutoIndexManager* manager,
                      const std::vector<std::string>& queries);
 
 }  // namespace autoindex
-
-#endif  // AUTOINDEX_WORKLOAD_WORKLOAD_H_

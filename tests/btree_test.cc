@@ -6,6 +6,8 @@
 #include <map>
 #include <vector>
 
+#include "check/validator.h"
+#include "engine/database.h"
 #include "index/btree.h"
 #include "util/random.h"
 
@@ -266,6 +268,48 @@ TEST_P(BTreeDifferential, MatchesReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BTreeDifferential,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// Full-stack closing check: after a mutation-heavy SQL workload over real
+// indexes, every structural validator in src/check/ must pass.
+TEST(BTree, CheckAllAfterMutationHeavyWorkload) {
+  Database db;
+  auto created = db.CreateTable("t", Schema({{"a", ValueType::kInt},
+                                             {"b", ValueType::kInt},
+                                             {"c", ValueType::kInt}}));
+  ASSERT_TRUE(created.ok());
+  std::vector<Row> rows;
+  for (int i = 0; i < 4000; ++i) {
+    rows.push_back({Value(int64_t(i)), Value(int64_t(i % 50)),
+                    Value(int64_t(i % 11))});
+  }
+  ASSERT_TRUE(db.BulkInsert("t", std::move(rows)).ok());
+  ASSERT_TRUE(db.CreateIndex(IndexDef("t", {"a"})).ok());
+  ASSERT_TRUE(db.CreateIndex(IndexDef("t", {"b", "c"})).ok());
+  Random rng(17);
+  for (int i = 0; i < 300; ++i) {
+    const int64_t v = rng.UniformInt(0, 3999);
+    switch (rng.Uniform(3)) {
+      case 0:
+        ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (" +
+                               std::to_string(10000 + i) + ", 1, 2)")
+                        .ok());
+        break;
+      case 1:
+        ASSERT_TRUE(db.Execute("DELETE FROM t WHERE a = " +
+                               std::to_string(v))
+                        .ok());
+        break;
+      default:
+        ASSERT_TRUE(db.Execute("UPDATE t SET b = 7 WHERE a = " +
+                               std::to_string(v))
+                        .ok());
+        break;
+    }
+  }
+  const CheckReport report = CheckAll(db);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.structures_checked(), 0u);
+}
 
 }  // namespace
 }  // namespace autoindex

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "check/validator.h"
 #include "index/index_def.h"
 #include "index/index_manager.h"
 #include "storage/catalog.h"
+#include "util/random.h"
 
 namespace autoindex {
 namespace {
@@ -156,6 +158,45 @@ TEST_F(IndexManagerTest, UsageCounters) {
   EXPECT_EQ(index->uses(), 2u);
   index->ResetUses();
   EXPECT_EQ(index->uses(), 0u);
+}
+
+TEST_F(IndexManagerTest, CheckAllAfterMutationBatches) {
+  IndexManager mgr(&catalog_);
+  ASSERT_TRUE(mgr.CreateIndex(IndexDef("t", {"a"})).ok());
+  ASSERT_TRUE(mgr.CreateIndex(IndexDef("t", {"b", "c"})).ok());
+  EXPECT_TRUE(CheckAll(catalog_, mgr).ok());
+
+  // Mutation batch through the write hooks: inserts, updates, deletes.
+  Random rng(7);
+  for (int i = 0; i < 200; ++i) {
+    auto rid = table_->Insert({Value(int64_t(1000 + i)),
+                               Value(int64_t(i % 13)),
+                               Value("x" + std::to_string(i % 5))});
+    ASSERT_TRUE(rid.ok());
+    mgr.OnInsert("t", *rid, table_->Get(*rid));
+  }
+  for (int i = 0; i < 120; ++i) {
+    const RowId rid = rng.Uniform(table_->num_slots());
+    if (!table_->IsLive(rid)) continue;
+    if (rng.Bernoulli(0.5)) {
+      Row old_row = table_->Get(rid);
+      Row new_row = old_row;
+      new_row[1] = Value(int64_t(rng.Uniform(40)));
+      ASSERT_TRUE(table_->Update(rid, new_row).ok());
+      mgr.OnUpdate("t", rid, old_row, new_row);
+    } else {
+      const Row old_row = table_->Get(rid);
+      mgr.OnDelete("t", rid, old_row);
+      ASSERT_TRUE(table_->Delete(rid).ok());
+    }
+  }
+  CheckReport report = CheckAll(catalog_, mgr);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+
+  // Index retirement must leave the remaining accounting exact.
+  ASSERT_TRUE(mgr.DropIndex("idx_t_a").ok());
+  report = CheckAll(catalog_, mgr);
+  EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
 TEST(IndexSizeModel, EstimatesScaleWithRowsAndWidth) {

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "check/validator.h"
 #include "core/manager.h"
 #include "workload/epidemic.h"
 #include "workload/workload.h"
@@ -25,6 +26,14 @@ class ManagerTest : public ::testing::Test {
  protected:
   void SetUp() override {
     EpidemicWorkload::Populate(&db_, epidemic_);
+  }
+
+  // Every integration scenario ends with a full structural validation:
+  // whatever the tuning loop built, retired, or rebuilt, the substrate
+  // must still be internally consistent.
+  void TearDown() override {
+    const CheckReport report = CheckAll(db_);
+    EXPECT_TRUE(report.ok()) << report.ToString();
   }
 
   Database db_;

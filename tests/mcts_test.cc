@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "check/validator.h"
 #include "core/benefit_estimator.h"
 #include "core/greedy.h"
 #include "core/mcts.h"
@@ -233,6 +234,30 @@ TEST_F(MctsTest, EarlyStopViaPatience) {
   MctsIndexSelector selector(&db_, estimator_.get(), config);
   MctsResult result = selector.Run(IndexConfig(), {IndexDef("t", {"a"})}, w);
   EXPECT_LT(result.iterations_run, 10000u);
+}
+
+// Regression for the tree_size drift fixed alongside the validator work:
+// RebaseRoot used to leave tree_size() counting nodes of the discarded
+// siblings, so the policy-tree validator (which recounts with a fresh
+// walk) would flag every post-rebase tree. Two rounds with the
+// recommendation applied force a rebase; the tree must then validate.
+TEST_F(MctsTest, PolicyTreeValidatesAfterRunsAndRebase) {
+  WorkloadModel w = MakeWorkload(
+      {{"SELECT b FROM t WHERE a = 123", 50.0},
+       {"SELECT a FROM t WHERE b = 5", 50.0}});
+  MctsConfig config;
+  config.iterations = 60;
+  MctsIndexSelector selector(&db_, estimator_.get(), config);
+  MctsResult first = selector.Run(
+      IndexConfig(), {IndexDef("t", {"a"}), IndexDef("t", {"b"})}, w);
+  EXPECT_TRUE(selector.ValidateTree().ok())
+      << selector.ValidateTree().ToString();
+  ASSERT_FALSE(first.to_add.empty());
+
+  selector.Run(first.best_config,
+               {IndexDef("t", {"a"}), IndexDef("t", {"b"})}, w);
+  const CheckReport report = CheckAll(db_, selector);
+  EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
 // Gamma sweep: any reasonable exploration constant finds the obvious

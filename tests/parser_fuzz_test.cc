@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <iostream>
+
 #include "sql/fingerprint.h"
 #include "sql/parser.h"
 #include "util/random.h"
@@ -20,11 +23,30 @@ const char* kFragments[] = {
     "''",     "-7",     ";",
 };
 
-class ParserFuzz : public ::testing::TestWithParam<int> {};
+// Sanitizer builds trade raw speed for instrumentation, which is exactly
+// when deeper fuzzing pays off: crank the trial count so ASan/UBSan see a
+// much larger input space.
+#ifdef AUTOINDEX_SANITIZE_BUILD
+constexpr int kTrialsPerSeed = 10000;
+#else
+constexpr int kTrialsPerSeed = 2000;
+#endif
+
+class ParserFuzz : public ::testing::TestWithParam<int> {
+ protected:
+  // Seeds are pure functions of the test parameter — every run is
+  // reproducible. Print the derived seed so a failure message alone is
+  // enough to replay the exact trial stream.
+  static Random SeededRng(uint64_t seed) {
+    std::cout << "[fuzz] seed=" << seed << " trials=" << kTrialsPerSeed
+              << "\n";
+    return Random(seed);
+  }
+};
 
 TEST_P(ParserFuzz, RandomTokenSoupNeverCrashes) {
-  Random rng(GetParam() * 7919 + 3);
-  for (int trial = 0; trial < 2000; ++trial) {
+  Random rng = SeededRng(GetParam() * 7919 + 3);
+  for (int trial = 0; trial < kTrialsPerSeed; ++trial) {
     std::string sql;
     const int len = 1 + static_cast<int>(rng.Uniform(25));
     for (int i = 0; i < len; ++i) {
@@ -43,11 +65,11 @@ TEST_P(ParserFuzz, RandomTokenSoupNeverCrashes) {
 }
 
 TEST_P(ParserFuzz, MutatedValidQueriesNeverCrash) {
-  Random rng(GetParam() * 104729 + 1);
+  Random rng = SeededRng(GetParam() * 104729 + 1);
   const std::string base =
       "SELECT a, COUNT(*) FROM t1 JOIN t2 ON t1.x = t2.y WHERE a = 5 AND "
       "(b > 3 OR c IN (1, 2)) GROUP BY a ORDER BY a DESC LIMIT 10";
-  for (int trial = 0; trial < 2000; ++trial) {
+  for (int trial = 0; trial < kTrialsPerSeed; ++trial) {
     std::string sql = base;
     // Random single-character mutations: deletions, swaps, injections.
     const int edits = 1 + static_cast<int>(rng.Uniform(6));
