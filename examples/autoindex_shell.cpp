@@ -10,6 +10,7 @@
 //   autoindex> \indexes
 //   autoindex> \quit
 
+#include <cctype>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -82,7 +83,7 @@ int main() {
   AutoIndexManager manager(&db, config);
 
   std::printf("AutoIndex shell — \\demo \\tune \\diagnose \\indexes "
-              "\\templates \\explain <sql> \\budget <MiB> "
+              "\\templates \\explain [analyze] <sql> \\budget <MiB> "
               "\\check [on|off] \\quit\n");
   std::string line;
   while (true) {
@@ -146,7 +147,18 @@ int main() {
       } else if (cmd == "explain") {
         std::string rest;
         std::getline(iss, rest);
-        auto plan = ExplainSql(db, std::string(Trim(rest)));
+        std::string sql(Trim(rest));
+        // "\explain analyze <sql>" executes and shows measured counters.
+        bool analyze = false;
+        if (sql.size() >= 7) {
+          std::string head = sql.substr(0, 7);
+          for (char& c : head) c = static_cast<char>(std::tolower(c));
+          if (head == "analyze") {
+            analyze = true;
+            sql = std::string(Trim(sql.substr(7)));
+          }
+        }
+        auto plan = analyze ? ExplainAnalyzeSql(db, sql) : ExplainSql(db, sql);
         if (plan.ok()) {
           std::printf("%s", plan->c_str());
         } else {

@@ -40,6 +40,9 @@ cmake --build build-werror -j "${JOBS}"
 step "tier-1 tests (plain build)"
 ctest --test-dir build-werror -L tier1 --output-on-failure
 
+step "bench smoke (micro benchmarks, short deterministic mode)"
+ctest --test-dir build-werror -L bench-smoke --output-on-failure
+
 if [[ "${FAST}" == "1" ]]; then
   step "OK (fast mode: sanitizer stages skipped)"
   exit 0

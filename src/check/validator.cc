@@ -4,6 +4,7 @@
 #include "check/catalog_validator.h"
 #include "check/heap_validator.h"
 #include "check/mcts_validator.h"
+#include "check/plan_validator.h"
 #include "engine/database.h"
 #include "util/string_util.h"
 
@@ -33,6 +34,7 @@ ValidatorRegistry& ValidatorRegistry::Default() {
     registry.Register(std::make_unique<HeapTableValidator>());
     registry.Register(std::make_unique<CatalogConsistencyValidator>());
     registry.Register(std::make_unique<MctsPolicyTreeValidator>());
+    registry.Register(std::make_unique<PhysicalPlanValidator>());
     return true;
   }();
   (void)populated;
@@ -51,10 +53,23 @@ CheckReport ValidatorRegistry::RunAll(const CheckContext& ctx) const {
   return report;
 }
 
+namespace {
+
+void FillPlanContext(const Database& db, CheckContext* ctx) {
+  const Executor& executor = db.executor();
+  if (executor.last_plan().has_value()) {
+    ctx->last_plan = &*executor.last_plan();
+    ctx->last_plan_stats = &executor.last_plan_stats();
+  }
+}
+
+}  // namespace
+
 CheckReport CheckAll(const Database& db) {
   CheckContext ctx;
   ctx.catalog = &db.catalog();
   ctx.indexes = &db.index_manager();
+  FillPlanContext(db, &ctx);
   return ValidatorRegistry::Default().RunAll(ctx);
 }
 
@@ -63,6 +78,7 @@ CheckReport CheckAll(const Database& db, const MctsIndexSelector& mcts) {
   ctx.catalog = &db.catalog();
   ctx.indexes = &db.index_manager();
   ctx.mcts = &mcts;
+  FillPlanContext(db, &ctx);
   return ValidatorRegistry::Default().RunAll(ctx);
 }
 

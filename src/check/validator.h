@@ -12,6 +12,8 @@ class Catalog;
 class Database;
 class IndexManager;
 class MctsIndexSelector;
+struct ExecStats;
+struct PlanNodeSnapshot;
 
 // One violated structural invariant, attributed to the validator that
 // found it. `detail` names the exact structure and the nature of the
@@ -57,6 +59,11 @@ struct CheckContext {
   const Catalog* catalog = nullptr;
   const IndexManager* indexes = nullptr;
   const MctsIndexSelector* mcts = nullptr;
+  // The executor's last read pipeline and the statement stats it summed
+  // into (absent until a SELECT/UPDATE/DELETE ran). Checked by the
+  // physical-plan validator.
+  const PlanNodeSnapshot* last_plan = nullptr;
+  const ExecStats* last_plan_stats = nullptr;
 };
 
 // A structural invariant checker over one subsystem. Implementations live

@@ -88,4 +88,39 @@ double IndexBenefitEstimator::CrossValidateRmse() const {
   return SigmoidRegression::CrossValidate(features_, targets_, 9);
 }
 
+namespace {
+
+std::string PathKey(const std::string& table, const std::string& index) {
+  return table + '\x01' + index;
+}
+
+}  // namespace
+
+void IndexBenefitEstimator::RecordExecutionFeedback(
+    const std::vector<AccessPathFeedback>& batch) {
+  for (const AccessPathFeedback& fb : batch) {
+    PathFeedback& agg = path_feedback_[PathKey(fb.table, fb.index)];
+    agg.est_cost_sum += fb.est_cost;
+    agg.actual_cost_sum += fb.actual_cost;
+    agg.est_rows_sum += fb.est_rows;
+    agg.actual_rows_sum += fb.actual_rows;
+    ++agg.count;
+    ++num_feedback_pairs_;
+  }
+}
+
+bool IndexBenefitEstimator::HasFeedbackFor(const std::string& table,
+                                           const std::string& index) const {
+  return path_feedback_.find(PathKey(table, index)) != path_feedback_.end();
+}
+
+double IndexBenefitEstimator::FeedbackCostRatio(
+    const std::string& table, const std::string& index) const {
+  auto it = path_feedback_.find(PathKey(table, index));
+  if (it == path_feedback_.end()) return 1.0;
+  const PathFeedback& agg = it->second;
+  if (agg.est_cost_sum <= 0.0) return 1.0;
+  return agg.actual_cost_sum / agg.est_cost_sum;
+}
+
 }  // namespace autoindex

@@ -66,7 +66,33 @@ class IndexBenefitEstimator {
   // table mutation that changes statistics.
   void InvalidateCache() const { cache_.clear(); }
 
+  // --- execution feedback (the EXPLAIN ANALYZE loop) ---
+  // Records the per-access-path (estimated, observed) pairs the executor
+  // collected for one statement. Aggregated per (table, index) so the
+  // planner's systematic estimation error on each path is measurable.
+  // Kept separate from AddObservation: feedback calibrates access paths,
+  // the observation history trains the statement-level cost model.
+  void RecordExecutionFeedback(const std::vector<AccessPathFeedback>& batch);
+  // Total pairs ever recorded.
+  size_t num_feedback_pairs() const { return num_feedback_pairs_; }
+  // Whether at least one pair was recorded for the path. `index` is the
+  // display name; empty means the sequential-scan path.
+  bool HasFeedbackFor(const std::string& table,
+                      const std::string& index) const;
+  // Mean observed/estimated cost ratio of the path: >1 means the planner
+  // underestimates it. 1.0 when unseen or the estimate is degenerate.
+  double FeedbackCostRatio(const std::string& table,
+                           const std::string& index) const;
+
  private:
+  struct PathFeedback {
+    double est_cost_sum = 0.0;
+    double actual_cost_sum = 0.0;
+    double est_rows_sum = 0.0;
+    double actual_rows_sum = 0.0;
+    size_t count = 0;
+  };
+
   double CombineFeatures(const CostBreakdown& breakdown) const;
 
   Database* db_;
@@ -75,6 +101,9 @@ class IndexBenefitEstimator {
   std::vector<double> targets_;
   // Memo: (template id, config hash) -> cost.
   mutable std::unordered_map<uint64_t, double> cache_;
+  // Per-access-path aggregates, keyed "<table>\x01<index display name>".
+  std::unordered_map<std::string, PathFeedback> path_feedback_;
+  size_t num_feedback_pairs_ = 0;
 };
 
 // Stable hash of a configuration (order-independent).

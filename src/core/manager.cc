@@ -17,6 +17,14 @@ AutoIndexManager::AutoIndexManager(Database* db, AutoIndexConfig config)
   selector_ = std::make_unique<MctsIndexSelector>(db_, estimator_.get(), mcts);
   diagnoser_ = std::make_unique<IndexDiagnoser>(db_, estimator_.get(),
                                                 config_.diagnosis);
+  if (config_.learn_cost_model) {
+    // EXPLAIN ANALYZE feedback loop: every executed statement streams its
+    // per-access-path (estimated, observed) pairs into the estimator.
+    db_->set_execution_feedback_hook(
+        [est = estimator_.get()](const std::vector<AccessPathFeedback>& fb) {
+          est->RecordExecutionFeedback(fb);
+        });
+  }
 }
 
 void AutoIndexManager::set_storage_budget(size_t bytes) {

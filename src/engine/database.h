@@ -71,7 +71,17 @@ class Database {
     return invariant_hook_ ? invariant_hook_(*this) : Status::Ok();
   }
 
+  // --- Execution feedback ---
+  // Forwards per-access-path (estimated, observed) pairs of every executed
+  // statement to the given hook; installed by AutoIndexManager when
+  // cost-model learning is enabled.
+  void set_execution_feedback_hook(Executor::FeedbackHook hook) {
+    executor_->set_feedback_hook(std::move(hook));
+  }
+
   // --- Introspection ---
+  Executor& executor() { return *executor_; }
+  const Executor& executor() const { return *executor_; }
   Catalog& catalog() { return *catalog_; }
   const Catalog& catalog() const { return *catalog_; }
   IndexManager& index_manager() { return *index_manager_; }

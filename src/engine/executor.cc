@@ -1,77 +1,9 @@
 #include "engine/executor.h"
 
 #include <algorithm>
-#include <functional>
-#include <map>
-#include <unordered_map>
-#include <unordered_set>
-
-#include "util/string_util.h"
+#include <utility>
 
 namespace autoindex {
-namespace {
-
-// Resolves columns over a partially-joined tuple: one row per placed table,
-// addressed by alias first, then by probing schemas for unqualified names.
-class TupleResolver : public ColumnResolver {
- public:
-  TupleResolver(const Catalog& catalog) : catalog_(catalog) {}
-
-  void Push(const TableRef& ref, const Row* row) {
-    refs_.push_back(&ref);
-    rows_.push_back(row);
-  }
-  void Pop() {
-    refs_.pop_back();
-    rows_.pop_back();
-  }
-  void SetTop(const Row* row) { rows_.back() = row; }
-  size_t depth() const { return refs_.size(); }
-
-  bool Resolve(const ColumnRef& col, Value* out) const override {
-    for (size_t i = refs_.size(); i > 0; --i) {
-      const TableRef& ref = *refs_[i - 1];
-      if (!col.table.empty() && col.table != ref.alias &&
-          col.table != ref.table) {
-        continue;
-      }
-      const HeapTable* t = catalog_.GetTable(ref.table);
-      if (t == nullptr) continue;
-      const int ord = t->schema().FindColumn(col.column);
-      if (ord < 0) continue;
-      if (rows_[i - 1] == nullptr) return false;
-      *out = (*rows_[i - 1])[static_cast<size_t>(ord)];
-      return true;
-    }
-    return false;
-  }
-
- private:
-  const Catalog& catalog_;
-  std::vector<const TableRef*> refs_;
-  std::vector<const Row*> rows_;
-};
-
-// Aggregate accumulator for one group.
-struct AggState {
-  size_t count = 0;
-  std::vector<double> sums;
-  std::vector<Value> mins;
-  std::vector<Value> maxs;
-  std::vector<size_t> non_null;  // per aggregate item
-  Row group_key;
-};
-
-struct GroupKeyHash {
-  size_t operator()(const Row& r) const { return HashRow(r); }
-};
-struct GroupKeyEq {
-  bool operator()(const Row& a, const Row& b) const {
-    return CompareRows(a, b) == 0;
-  }
-};
-
-}  // namespace
 
 std::vector<IndexStatsView> Executor::BuiltConfig(
     const std::string& table) const {
@@ -88,32 +20,6 @@ std::vector<IndexStatsView> Executor::BuiltConfig(
   return out;
 }
 
-namespace {
-
-// For a local index: the bound value of the table's partition column, when
-// an equality condition pins it (literal, or join-resolved from the outer
-// tuple). Returns false when unbound (the scan must probe every shard).
-bool ResolvePartitionValue(const BuiltIndex& index, const HeapTable& table,
-                           const std::vector<ColumnCondition>& conditions,
-                           const ColumnResolver& resolver, Value* out) {
-  if (!index.is_local() || !table.partitioned()) return false;
-  const std::string& pcol =
-      table.schema().column(static_cast<size_t>(table.partition_column()))
-          .name;
-  for (const ColumnCondition& c : conditions) {
-    if (c.column != pcol || c.kind != ColumnCondition::kEq) continue;
-    if (c.join_source.has_value()) {
-      if (resolver.Resolve(*c.join_source, out)) return true;
-      continue;
-    }
-    *out = c.literal;
-    return true;
-  }
-  return false;
-}
-
-}  // namespace
-
 StatusOr<ExecResult> Executor::Execute(const Statement& stmt) {
   switch (stmt.kind) {
     case StatementKind::kSelect:
@@ -128,6 +34,16 @@ StatusOr<ExecResult> Executor::Execute(const Statement& stmt) {
   return Status::Internal("unknown statement kind");
 }
 
+// Retains the statement's pipeline snapshot and final stats for the plan
+// validator, then forwards the collected feedback to the installed hook.
+void Executor::FinishStatement(const ExecResult& result) {
+  last_plan_ = result.plan;
+  last_plan_stats_ = result.stats;
+  if (feedback_hook_ && !result.feedback.empty()) {
+    feedback_hook_(result.feedback);
+  }
+}
+
 StatusOr<ExecResult> Executor::ExecuteSelect(const SelectStatement& stmt) {
   // Plan against the real (built) indexes of every referenced table.
   std::vector<IndexStatsView> config;
@@ -137,538 +53,54 @@ StatusOr<ExecResult> Executor::ExecuteSelect(const SelectStatement& stmt) {
   }
   StatusOr<SelectPlan> plan_or = planner_.PlanSelect(stmt, config);
   if (!plan_or.ok()) return plan_or.status();
-  const SelectPlan& plan = *plan_or;
+
+  std::unique_ptr<PhysicalPlan> pplan =
+      LowerSelect(stmt, std::move(*plan_or), catalog_, indexes_, params_);
 
   ExecResult result;
-  TupleResolver resolver(*catalog_);
+  result.indexes_used = pplan->indexes_used;
+  result.stats.used_index = pplan->used_index;
 
-  // Per-level cached structures.
-  struct LevelState {
-    HeapTable* table = nullptr;
-    BuiltIndex* index = nullptr;  // when access.use_index
-    // Hash-join build side: join-key -> rows (only for seq+join levels).
-    std::unordered_map<size_t, std::vector<RowId>> hash;
-    std::vector<std::string> hash_cols;  // this table's join columns
-    std::vector<ColumnRef> hash_sources; // outer columns, parallel
-    bool hash_built = false;
-    // Materialized filtered rows for cartesian levels.
-    std::vector<RowId> materialized;
-    bool materialized_done = false;
-  };
-  std::vector<LevelState> levels(plan.tables.size());
-  for (size_t i = 0; i < plan.tables.size(); ++i) {
-    levels[i].table = catalog_->GetTable(plan.tables[i].ref.table);
-    if (plan.tables[i].access.use_index) {
-      for (BuiltIndex* bi :
-           indexes_->IndexesOnTable(plan.tables[i].ref.table)) {
-        if (bi->def() == plan.tables[i].access.index) {
-          levels[i].index = bi;
-          break;
-        }
-      }
-      if (levels[i].index != nullptr) {
-        levels[i].index->RecordUse();
-        result.indexes_used.push_back(levels[i].index->def().DisplayName());
-        result.stats.used_index = true;
-      }
-    }
+  pplan->root->Open();
+  ExecTuple t;
+  while (pplan->root->Next(&t)) {
+    result.rows.push_back(std::move(t.slots[0]));
   }
+  pplan->root->Close();
 
-  // Joined tuples that survive all levels land here (one Row per table).
-  std::vector<std::vector<Row>> joined;
-
-  // Heap pages fetched via index probes, deduplicated query-wide: repeated
-  // probes hitting the same (hot or clustered) pages cost one read — the
-  // buffer-cache behaviour the cost model's correlation blend mirrors.
-  std::unordered_set<size_t> probed_heap_pages;
-
-  // Recursive descent across join levels.
-  std::vector<Row> current(plan.tables.size());
-  std::function<void(size_t)> descend = [&](size_t level) {
-    if (level == plan.tables.size()) {
-      // Final filter with the complete WHERE (covers ORs and cross-table
-      // predicates the per-level pruning could not evaluate).
-      if (stmt.where != nullptr &&
-          !EvaluatePredicate(*stmt.where, resolver)) {
-        return;
-      }
-      joined.push_back(current);
-      return;
-    }
-    const TablePlan& tp = plan.tables[level];
-    LevelState& ls = levels[level];
-    HeapTable* table = ls.table;
-
-    // Local literal predicate check for pruning (subset of full WHERE).
-    auto local_ok = [&](const Row& row) {
-      resolver.SetTop(&row);
-      for (const ColumnCondition& c : tp.conditions) {
-        if (c.atom == nullptr || c.join_source.has_value()) continue;
-        if (!EvaluatePredicate(*c.atom, resolver)) return false;
-      }
-      return true;
-    };
-    // Join-equality check over bound outer values.
-    auto join_ok = [&](const Row& row) {
-      resolver.SetTop(&row);
-      for (const ColumnCondition& c : tp.conditions) {
-        if (!c.join_source.has_value() || c.atom == nullptr) continue;
-        if (!EvaluatePredicate(*c.atom, resolver)) return false;
-      }
-      return true;
-    };
-
-    resolver.Push(tp.ref, nullptr);
-
-    if (ls.index != nullptr) {
-      // Index scan: build the runtime key prefix. Equality columns may be
-      // literals or join references resolved from the outer tuple.
-      Row lo, hi;
-      bool ok = true;
-      bool lo_inc = true, hi_inc = true;
-      for (size_t k = 0; k < tp.access.eq_prefix_len && ok; ++k) {
-        const std::string& icol = tp.access.index.columns[k];
-        bool bound = false;
-        for (const ColumnCondition& c : tp.conditions) {
-          if (c.column != icol || c.kind != ColumnCondition::kEq) continue;
-          Value v;
-          if (c.join_source.has_value()) {
-            if (!resolver.Resolve(*c.join_source, &v)) continue;
-          } else {
-            v = c.literal;
-          }
-          lo.push_back(v);
-          hi.push_back(v);
-          bound = true;
-          break;
-        }
-        if (!bound) ok = false;
-      }
-      if (ok && tp.access.has_range &&
-          tp.access.eq_prefix_len < tp.access.index.columns.size()) {
-        const std::string& rcol =
-            tp.access.index.columns[tp.access.eq_prefix_len];
-        for (const ColumnCondition& c : tp.conditions) {
-          if (c.column != rcol) continue;
-          if (c.kind == ColumnCondition::kRangeLo) {
-            if (lo.size() == tp.access.eq_prefix_len) {
-              lo.push_back(c.literal);
-              lo_inc = c.inclusive;
-            }
-          } else if (c.kind == ColumnCondition::kRangeHi) {
-            if (hi.size() == tp.access.eq_prefix_len) {
-              hi.push_back(c.literal);
-              hi_inc = c.inclusive;
-            }
-          }
-        }
-      }
-      if (ok) {
-        size_t index_pages = 0;
-        std::vector<RowId> rids;
-        const Row* lo_ptr = lo.empty() ? nullptr : &lo;
-        const Row* hi_ptr = hi.empty() ? nullptr : &hi;
-        Value partition_value;
-        const bool pruned = ResolvePartitionValue(
-            *ls.index, *table, tp.conditions, resolver, &partition_value);
-        ls.index->Scan(pruned ? &partition_value : nullptr, lo_ptr, lo_inc,
-                       hi_ptr, hi_inc,
-                       [&](const Row&, RowId rid) {
-                         rids.push_back(rid);
-                         return true;
-                       },
-                       &index_pages);
-        result.stats.index_pages_read += index_pages;
-        result.stats.index_tuples_read += rids.size();
-        for (RowId rid : rids) {
-          if (!table->IsLive(rid)) continue;
-          probed_heap_pages.insert(table->PageOfRow(rid) ^
-                                   (std::hash<std::string>()(table->name())
-                                    << 1));
-          const Row& row = table->Get(rid);
-          ++result.stats.tuples_examined;
-          if (!local_ok(row) || !join_ok(row)) continue;
-          current[level] = row;
-          resolver.SetTop(&current[level]);
-          descend(level + 1);
-        }
-        resolver.Pop();
-        return;
-      }
-      // Fall through to a scan when the runtime prefix could not be bound.
-    }
-
-    // Does this level join to the outer tuple by equality?
-    std::vector<std::string> join_cols;
-    std::vector<ColumnRef> join_sources;
-    for (const ColumnCondition& c : tp.conditions) {
-      if (c.join_source.has_value() && c.kind == ColumnCondition::kEq) {
-        join_cols.push_back(c.column);
-        join_sources.push_back(*c.join_source);
-      }
-    }
-
-    if (!join_cols.empty() && level > 0) {
-      // Hash join: build once over the filtered table, probe per tuple.
-      if (!ls.hash_built) {
-        ls.hash_cols = join_cols;
-        ls.hash_sources = join_sources;
-        std::vector<int> ords;
-        for (const std::string& c : join_cols) {
-          ords.push_back(table->schema().FindColumn(c));
-        }
-        table->Scan([&](RowId rid, const Row& row) {
-          ++result.stats.tuples_examined;
-          if (!local_ok(row)) return;
-          Row key;
-          for (int ord : ords) {
-            key.push_back(ord >= 0 ? row[static_cast<size_t>(ord)]
-                                   : Value::Null());
-          }
-          ls.hash[HashRow(key)].push_back(rid);
-        });
-        result.stats.heap_pages_read += table->NumPages();
-        ls.hash_built = true;
-      }
-      // Probe with the outer values.
-      Row probe;
-      bool bound = true;
-      for (const ColumnRef& src : ls.hash_sources) {
-        Value v;
-        if (!resolver.Resolve(src, &v)) {
-          bound = false;
-          break;
-        }
-        probe.push_back(v);
-      }
-      if (bound) {
-        auto it = ls.hash.find(HashRow(probe));
-        if (it != ls.hash.end()) {
-          for (RowId rid : it->second) {
-            if (!table->IsLive(rid)) continue;
-            const Row& row = table->Get(rid);
-            current[level] = row;
-            resolver.SetTop(&current[level]);
-            if (!join_ok(row)) continue;  // hash collision / exact check
-            descend(level + 1);
-          }
-        }
-      }
-      resolver.Pop();
-      return;
-    }
-
-    // Sequential scan (first level, or cartesian level). Materialize the
-    // filtered rows once so repeated outer tuples do not rescan.
-    if (!ls.materialized_done) {
-      table->Scan([&](RowId rid, const Row& row) {
-        ++result.stats.tuples_examined;
-        if (local_ok(row)) ls.materialized.push_back(rid);
-      });
-      result.stats.heap_pages_read += table->NumPages();
-      ls.materialized_done = true;
-    }
-    for (RowId rid : ls.materialized) {
-      if (!table->IsLive(rid)) continue;
-      const Row& row = table->Get(rid);
-      current[level] = row;
-      resolver.SetTop(&current[level]);
-      if (!join_ok(row)) continue;
-      descend(level + 1);
-    }
-    resolver.Pop();
-  };
-  descend(0);
-  result.stats.heap_pages_read += probed_heap_pages.size();
-
-  // --- Projection / aggregation ---
-  const bool has_agg = std::any_of(
-      stmt.items.begin(), stmt.items.end(),
-      [](const SelectItem& it) { return it.agg != AggFunc::kNone; });
-
-  // Rebuild a resolver over a complete joined tuple.
-  auto make_resolver = [&](const std::vector<Row>& tuple,
-                           TupleResolver* r) {
-    for (size_t i = 0; i < plan.tables.size(); ++i) {
-      r->Push(plan.tables[i].ref, &tuple[i]);
-    }
-  };
-
-  auto project_col = [&](const std::vector<Row>& tuple,
-                         const ColumnRef& col) -> Value {
-    TupleResolver r(*catalog_);
-    make_resolver(tuple, &r);
-    Value v;
-    if (r.Resolve(col, &v)) return v;
-    return Value::Null();
-  };
-
-  if (!has_agg && stmt.group_by.empty()) {
-    // Optional ORDER BY over the joined tuples.
-    if (!stmt.order_by.empty()) {
-      std::stable_sort(
-          joined.begin(), joined.end(),
-          [&](const std::vector<Row>& a, const std::vector<Row>& b) {
-            for (const OrderByItem& o : stmt.order_by) {
-              const Value va = project_col(a, o.column);
-              const Value vb = project_col(b, o.column);
-              const int c = va.Compare(vb);
-              if (c != 0) return o.desc ? c > 0 : c < 0;
-            }
-            return false;
-          });
-      result.stats.sort_rows += joined.size();
-    }
-    size_t emitted = 0;
-    for (const std::vector<Row>& tuple : joined) {
-      if (stmt.limit >= 0 && emitted >= static_cast<size_t>(stmt.limit)) {
-        break;
-      }
-      Row out;
-      for (const SelectItem& item : stmt.items) {
-        if (item.star) {
-          for (size_t i = 0; i < tuple.size(); ++i) {
-            for (const Value& v : tuple[i]) out.push_back(v);
-          }
-        } else {
-          out.push_back(project_col(tuple, item.column));
-        }
-      }
-      result.rows.push_back(std::move(out));
-      ++emitted;
-    }
-  } else {
-    // Hash aggregation on the GROUP BY key (empty key = single group).
-    std::unordered_map<Row, AggState, GroupKeyHash, GroupKeyEq> groups;
-    for (const std::vector<Row>& tuple : joined) {
-      Row key;
-      for (const ColumnRef& g : stmt.group_by) {
-        key.push_back(project_col(tuple, g));
-      }
-      AggState& st = groups[key];
-      if (st.count == 0) {
-        st.group_key = key;
-        st.sums.assign(stmt.items.size(), 0.0);
-        st.mins.assign(stmt.items.size(), Value());
-        st.maxs.assign(stmt.items.size(), Value());
-        st.non_null.assign(stmt.items.size(), 0);
-      }
-      ++st.count;
-      for (size_t k = 0; k < stmt.items.size(); ++k) {
-        const SelectItem& item = stmt.items[k];
-        if (item.agg == AggFunc::kNone || item.star) continue;
-        const Value v = project_col(tuple, item.column);
-        if (v.is_null()) continue;
-        ++st.non_null[k];
-        if (v.type() != ValueType::kString) {
-          st.sums[k] += v.AsDouble();
-        }
-        if (st.mins[k].is_null() || v.Compare(st.mins[k]) < 0) {
-          st.mins[k] = v;
-        }
-        if (st.maxs[k].is_null() || v.Compare(st.maxs[k]) > 0) {
-          st.maxs[k] = v;
-        }
-      }
-    }
-    if (groups.empty() && stmt.group_by.empty()) {
-      groups[Row()];  // COUNT over empty input yields one zero row
-      AggState& st = groups[Row()];
-      st.sums.assign(stmt.items.size(), 0.0);
-      st.mins.assign(stmt.items.size(), Value());
-      st.maxs.assign(stmt.items.size(), Value());
-      st.non_null.assign(stmt.items.size(), 0);
-    }
-    result.stats.sort_rows += groups.size();
-    std::vector<Row> out_rows;
-    for (const auto& [key, st] : groups) {
-      Row out;
-      for (size_t k = 0; k < stmt.items.size(); ++k) {
-        const SelectItem& item = stmt.items[k];
-        switch (item.agg) {
-          case AggFunc::kNone: {
-            // A grouped plain column: take it from the key when possible.
-            bool from_key = false;
-            for (size_t g = 0; g < stmt.group_by.size(); ++g) {
-              if (stmt.group_by[g].column == item.column.column) {
-                out.push_back(key[g]);
-                from_key = true;
-                break;
-              }
-            }
-            if (!from_key) out.push_back(Value::Null());
-            break;
-          }
-          case AggFunc::kCount:
-            out.push_back(Value(static_cast<int64_t>(
-                item.star ? st.count : st.non_null[k])));
-            break;
-          case AggFunc::kSum:
-            out.push_back(st.non_null[k] == 0 ? Value::Null()
-                                              : Value(st.sums[k]));
-            break;
-          case AggFunc::kAvg:
-            out.push_back(st.non_null[k] == 0
-                              ? Value::Null()
-                              : Value(st.sums[k] / st.non_null[k]));
-            break;
-          case AggFunc::kMin:
-            out.push_back(st.mins[k]);
-            break;
-          case AggFunc::kMax:
-            out.push_back(st.maxs[k]);
-            break;
-        }
-      }
-      out_rows.push_back(std::move(out));
-    }
-    // ORDER BY on grouped output: match order columns to select items.
-    if (!stmt.order_by.empty()) {
-      std::vector<int> order_slots;
-      std::vector<bool> order_desc;
-      for (const OrderByItem& o : stmt.order_by) {
-        for (size_t k = 0; k < stmt.items.size(); ++k) {
-          if (!stmt.items[k].star &&
-              stmt.items[k].column.column == o.column.column) {
-            order_slots.push_back(static_cast<int>(k));
-            order_desc.push_back(o.desc);
-            break;
-          }
-        }
-      }
-      std::stable_sort(out_rows.begin(), out_rows.end(),
-                       [&](const Row& a, const Row& b) {
-                         for (size_t j = 0; j < order_slots.size(); ++j) {
-                           const int k = order_slots[j];
-                           const int c = a[k].Compare(b[k]);
-                           if (c != 0) return order_desc[j] ? c > 0 : c < 0;
-                         }
-                         return false;
-                       });
-    }
-    if (stmt.limit >= 0 &&
-        out_rows.size() > static_cast<size_t>(stmt.limit)) {
-      out_rows.resize(static_cast<size_t>(stmt.limit));
-    }
-    result.rows = std::move(out_rows);
-  }
-
+  result.plan = pplan->root->Snapshot();
+  AccumulateOperatorCounters(*result.plan, &result.stats);
   result.stats.rows_returned = result.rows.size();
+  CollectAccessPathFeedback(*pplan->root, params_, &result.feedback);
+  FinishStatement(result);
   return result;
 }
 
-StatusOr<std::vector<RowId>> Executor::LookupRows(
-    const std::string& table, const Expr* where, ExecStats* stats,
-    std::vector<std::string>* used) {
+StatusOr<std::vector<RowId>> Executor::LookupRows(const std::string& table,
+                                                  const Expr* where,
+                                                  ExecResult* result) {
   HeapTable* t = catalog_->GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
   StatusOr<TablePlan> tp_or =
       planner_.PlanWriteLookup(table, where, BuiltConfig(table));
   if (!tp_or.ok()) return tp_or.status();
-  const TablePlan& tp = *tp_or;
+
+  std::unique_ptr<PhysicalPlan> pplan =
+      LowerWriteLookup(std::move(*tp_or), where, catalog_, indexes_, params_);
+  result->indexes_used = pplan->indexes_used;
+  result->stats.used_index = pplan->used_index;
 
   std::vector<RowId> out;
-  TupleResolver resolver(*catalog_);
-  resolver.Push(tp.ref, nullptr);
-  auto matches = [&](const Row& row) {
-    resolver.SetTop(&row);
-    return where == nullptr || EvaluatePredicate(*where, resolver);
-  };
+  pplan->root->Open();
+  ExecTuple tup;
+  while (pplan->root->Next(&tup)) {
+    out.push_back(tup.rids[0]);
+  }
+  pplan->root->Close();
 
-  BuiltIndex* index = nullptr;
-  if (tp.access.use_index) {
-    for (BuiltIndex* bi : indexes_->IndexesOnTable(table)) {
-      if (bi->def() == tp.access.index) {
-        index = bi;
-        break;
-      }
-    }
-  }
-  if (index != nullptr && tp.access.eq_prefix_len > 0) {
-    index->RecordUse();
-    if (used != nullptr) used->push_back(index->def().DisplayName());
-    stats->used_index = true;
-    Row lo, hi;
-    bool lo_inc = true, hi_inc = true;
-    bool ok = true;
-    for (size_t k = 0; k < tp.access.eq_prefix_len && ok; ++k) {
-      const std::string& icol = tp.access.index.columns[k];
-      bool bound = false;
-      for (const ColumnCondition& c : tp.conditions) {
-        if (c.column == icol && c.kind == ColumnCondition::kEq &&
-            !c.join_source.has_value()) {
-          lo.push_back(c.literal);
-          hi.push_back(c.literal);
-          bound = true;
-          break;
-        }
-      }
-      if (!bound) ok = false;
-    }
-    if (ok && tp.access.has_range &&
-        tp.access.eq_prefix_len < tp.access.index.columns.size()) {
-      const std::string& rcol =
-          tp.access.index.columns[tp.access.eq_prefix_len];
-      for (const ColumnCondition& c : tp.conditions) {
-        if (c.column != rcol) continue;
-        if (c.kind == ColumnCondition::kRangeLo &&
-            lo.size() == tp.access.eq_prefix_len) {
-          lo.push_back(c.literal);
-          lo_inc = c.inclusive;
-        } else if (c.kind == ColumnCondition::kRangeHi &&
-                   hi.size() == tp.access.eq_prefix_len) {
-          hi.push_back(c.literal);
-          hi_inc = c.inclusive;
-        }
-      }
-    }
-    if (ok) {
-      size_t index_pages = 0;
-      std::unordered_set<size_t> heap_pages;
-      std::vector<RowId> rids;
-      Value partition_value;
-      // No outer tuple in a write lookup: resolver-free pruning on
-      // literal conditions only.
-      bool pruned = false;
-      if (index->is_local() && t->partitioned()) {
-        const std::string& pcol =
-            t->schema()
-                .column(static_cast<size_t>(t->partition_column()))
-                .name;
-        for (const ColumnCondition& c : tp.conditions) {
-          if (c.column == pcol && c.kind == ColumnCondition::kEq &&
-              !c.join_source.has_value()) {
-            partition_value = c.literal;
-            pruned = true;
-            break;
-          }
-        }
-      }
-      index->Scan(pruned ? &partition_value : nullptr, &lo, lo_inc, &hi,
-                  hi_inc,
-                  [&](const Row&, RowId rid) {
-                    rids.push_back(rid);
-                    return true;
-                  },
-                  &index_pages);
-      stats->index_pages_read += index_pages;
-      stats->index_tuples_read += rids.size();
-      for (RowId rid : rids) {
-        if (!t->IsLive(rid)) continue;
-        heap_pages.insert(t->PageOfRow(rid));
-        ++stats->tuples_examined;
-        if (matches(t->Get(rid))) out.push_back(rid);
-      }
-      stats->heap_pages_read += heap_pages.size();
-      return out;
-    }
-  }
-  // Sequential scan fallback.
-  t->Scan([&](RowId rid, const Row& row) {
-    ++stats->tuples_examined;
-    if (matches(row)) out.push_back(rid);
-  });
-  stats->heap_pages_read += t->NumPages();
+  result->plan = pplan->root->Snapshot();
+  AccumulateOperatorCounters(*result->plan, &result->stats);
+  CollectAccessPathFeedback(*pplan->root, params_, &result->feedback);
   return out;
 }
 
@@ -729,6 +161,10 @@ StatusOr<ExecResult> Executor::ExecuteInsert(const InsertStatement& stmt) {
     result.stats.index_pages_written += inserted + splits;
   }
   result.stats.rows_returned = inserted;
+  // No read pipeline ran; clear the retained snapshot so the validator
+  // does not check a stale plan against this statement's stats.
+  last_plan_.reset();
+  last_plan_stats_ = result.stats;
   return result;
 }
 
@@ -736,8 +172,8 @@ StatusOr<ExecResult> Executor::ExecuteUpdate(const UpdateStatement& stmt) {
   HeapTable* t = catalog_->GetTable(stmt.table);
   if (t == nullptr) return Status::NotFound("no such table: " + stmt.table);
   ExecResult result;
-  StatusOr<std::vector<RowId>> rids = LookupRows(
-      stmt.table, stmt.where.get(), &result.stats, &result.indexes_used);
+  StatusOr<std::vector<RowId>> rids =
+      LookupRows(stmt.table, stmt.where.get(), &result);
   if (!rids.ok()) return rids.status();
 
   const Schema& schema = t->schema();
@@ -783,6 +219,7 @@ StatusOr<ExecResult> Executor::ExecuteUpdate(const UpdateStatement& stmt) {
       rids->size(), std::max<size_t>(1, t->NumPages()));
   if (rids->empty()) result.stats.pages_written = 0;
   result.stats.rows_returned = rids->size();
+  FinishStatement(result);
   return result;
 }
 
@@ -790,8 +227,8 @@ StatusOr<ExecResult> Executor::ExecuteDelete(const DeleteStatement& stmt) {
   HeapTable* t = catalog_->GetTable(stmt.table);
   if (t == nullptr) return Status::NotFound("no such table: " + stmt.table);
   ExecResult result;
-  StatusOr<std::vector<RowId>> rids = LookupRows(
-      stmt.table, stmt.where.get(), &result.stats, &result.indexes_used);
+  StatusOr<std::vector<RowId>> rids =
+      LookupRows(stmt.table, stmt.where.get(), &result);
   if (!rids.ok()) return rids.status();
 
   for (RowId rid : *rids) {
@@ -811,6 +248,7 @@ StatusOr<ExecResult> Executor::ExecuteDelete(const DeleteStatement& stmt) {
                     : std::min<size_t>(rids->size(),
                                        std::max<size_t>(1, t->NumPages()));
   result.stats.rows_returned = rids->size();
+  FinishStatement(result);
   return result;
 }
 

@@ -104,4 +104,79 @@ StatusOr<std::string> ExplainSql(const Database& db,
   return ExplainStatement(db, *stmt);
 }
 
+namespace {
+
+void RenderSnapshotNode(const PlanNodeSnapshot& n, size_t depth,
+                        std::string* out) {
+  out->append(2 * depth, ' ');
+  *out += StrFormat("-> %s %s  (est. %.1f rows, cost %.1f)", n.op.c_str(),
+                    n.detail.c_str(), n.est_rows, n.est_cost);
+  *out += StrFormat("  (actual: rows=%lld",
+                    static_cast<long long>(n.actual.rows_out));
+  const struct {
+    const char* label;
+    int64_t value;
+  } counters[] = {
+      {"heap_pages", n.actual.heap_pages_read},
+      {"index_pages", n.actual.index_pages_read},
+      {"tuples", n.actual.tuples_examined},
+      {"index_tuples", n.actual.index_tuples_read},
+      {"sort_rows", n.actual.sort_rows},
+      {"comparisons", n.actual.comparisons},
+  };
+  for (const auto& c : counters) {
+    if (c.value != 0) {
+      *out += StrFormat(", %s=%lld", c.label,
+                        static_cast<long long>(c.value));
+    }
+  }
+  *out += ")\n";
+  for (const PlanNodeSnapshot& child : n.children) {
+    RenderSnapshotNode(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderPlanSnapshot(const PlanNodeSnapshot& node) {
+  std::string out;
+  RenderSnapshotNode(node, 0, &out);
+  return out;
+}
+
+StatusOr<std::string> ExplainAnalyzeStatement(Database& db,
+                                              const Statement& stmt) {
+  StatusOr<ExecResult> result = db.Execute(stmt);
+  if (!result.ok()) return result.status();
+  std::string out;
+  if (result->plan.has_value()) {
+    out += RenderPlanSnapshot(*result->plan);
+  } else {
+    // INSERT has no read pipeline; show the logical shape instead.
+    out += ExplainStatement(db, stmt);
+  }
+  const CostBreakdown cost = result->stats.ToCost(db.params());
+  out += StrFormat("measured cost: %.1f (%zu rows)\n", cost.Total(),
+                   result->stats.rows_returned);
+  if (!result->feedback.empty()) {
+    out += "feedback:\n";
+    for (const AccessPathFeedback& fb : result->feedback) {
+      out += StrFormat(
+          "  %s via %s: est %.1f rows / %.1f cost, actual %.1f rows / %.1f "
+          "cost\n",
+          fb.table.c_str(),
+          fb.index.empty() ? "seq scan" : fb.index.c_str(), fb.est_rows,
+          fb.est_cost, fb.actual_rows, fb.actual_cost);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::string> ExplainAnalyzeSql(Database& db,
+                                        const std::string& sql) {
+  StatusOr<Statement> stmt = ParseSql(sql);
+  if (!stmt.ok()) return stmt.status();
+  return ExplainAnalyzeStatement(db, *stmt);
+}
+
 }  // namespace autoindex

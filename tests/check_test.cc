@@ -159,6 +159,76 @@ TEST_F(CheckTest, DetectsIndexEntryDriftAgainstTable) {
   EXPECT_TRUE(ReportMentions(report, "live rows")) << report.ToString();
 }
 
+// --- Physical-plan corruptions ------------------------------------------
+
+class CheckPlanTest : public CheckTest {
+ protected:
+  // Runs a SELECT so the executor retains a plan snapshot, proves the
+  // healthy snapshot passes, and hands the test a mutable pointer to it.
+  PlanNodeSnapshot* ExecuteAndGetPlan() {
+    auto r = db_.Execute("SELECT a, b FROM t WHERE b = 7 ORDER BY a LIMIT 5");
+    EXPECT_TRUE(r.ok());
+    const CheckReport healthy = CheckAll(db_);
+    EXPECT_TRUE(healthy.ok()) << healthy.ToString();
+    PlanNodeSnapshot* plan = db_.executor().TestOnlyMutableLastPlan();
+    EXPECT_NE(plan, nullptr);
+    return plan;
+  }
+
+  // The plan validator's issues all carry the "physical_plan" attribution.
+  static bool PlanIssueReported(const CheckReport& report) {
+    return std::any_of(report.issues().begin(), report.issues().end(),
+                       [](const CheckIssue& issue) {
+                         return issue.validator == "physical_plan";
+                       });
+  }
+};
+
+TEST_F(CheckPlanTest, DetectsCounterSumDrift) {
+  PlanNodeSnapshot* plan = ExecuteAndGetPlan();
+  ASSERT_NE(plan, nullptr);
+  plan->actual.rows_out += 3;  // root no longer matches stats.rows_returned
+  const CheckReport report = CheckAll(db_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(PlanIssueReported(report)) << report.ToString();
+  EXPECT_TRUE(ReportMentions(report, "rows_returned")) << report.ToString();
+}
+
+TEST_F(CheckPlanTest, DetectsUnknownOperator) {
+  PlanNodeSnapshot* plan = ExecuteAndGetPlan();
+  ASSERT_NE(plan, nullptr);
+  plan->op = "Bogus";
+  const CheckReport report = CheckAll(db_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(ReportMentions(report, "unknown operator"))
+      << report.ToString();
+}
+
+TEST_F(CheckPlanTest, DetectsNegativeCounter) {
+  PlanNodeSnapshot* plan = ExecuteAndGetPlan();
+  ASSERT_NE(plan, nullptr);
+  plan->actual.comparisons = -1;
+  const CheckReport report = CheckAll(db_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(ReportMentions(report, "negative counter"))
+      << report.ToString();
+}
+
+TEST_F(CheckPlanTest, DetectsWidthPropagationViolation) {
+  PlanNodeSnapshot* plan = ExecuteAndGetPlan();
+  ASSERT_NE(plan, nullptr);
+  plan->out_width = 7;  // Project must emit width 1
+  const CheckReport report = CheckAll(db_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(ReportMentions(report, "width")) << report.ToString();
+}
+
+TEST_F(CheckPlanTest, PlanValidatorNoOpsBeforeAnyQuery) {
+  // A fresh database has no retained plan; CheckAll must stay green.
+  const CheckReport report = CheckAll(db_);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
 // --- MCTS policy-tree corruptions ---------------------------------------
 
 class CheckMctsTest : public CheckTest {

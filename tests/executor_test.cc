@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "engine/database.h"
 #include "util/random.h"
 
@@ -269,6 +271,33 @@ TEST_F(ExecutorTest, WriteLookupUsesIndex) {
   ASSERT_TRUE(upd.ok());
   EXPECT_TRUE(upd->stats.used_index);
   EXPECT_LT(upd->stats.tuples_examined, 5u);
+}
+
+TEST_F(ExecutorTest, IndexesUsedDeduplicatedAcrossJoinLevels) {
+  // A self-join where both sides probe the same index: the executed plan
+  // uses it at two levels, but indexes_used reports each distinct index
+  // once (deduplicated, deterministic plan order).
+  ASSERT_TRUE(db_.CreateIndex(IndexDef("emp", {"id"})).ok());
+  auto r = db_.Execute(
+      "SELECT e1.salary, e2.salary FROM emp e1, emp e2 "
+      "WHERE e1.id = 42 AND e2.id = 42");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_TRUE(r->stats.used_index);
+  // The snapshot proves the index really was placed at two plan levels...
+  ASSERT_TRUE(r->plan.has_value());
+  std::function<size_t(const PlanNodeSnapshot&)> count_index_scans =
+      [&](const PlanNodeSnapshot& node) {
+        size_t n = node.op == "IndexScan" ? 1u : 0u;
+        for (const PlanNodeSnapshot& child : node.children) {
+          n += count_index_scans(child);
+        }
+        return n;
+      };
+  EXPECT_EQ(count_index_scans(*r->plan), 2u);
+  // ...while the reported list carries each distinct index exactly once.
+  ASSERT_EQ(r->indexes_used.size(), 1u);
+  EXPECT_EQ(r->indexes_used[0], IndexDef("emp", {"id"}).DisplayName());
 }
 
 TEST_F(ExecutorTest, ErrorsSurfaceCleanly) {

@@ -154,6 +154,59 @@ TEST_F(ManagerTest, TrainingDataAccumulatesWhenEnabled) {
   EXPECT_TRUE(manager.estimator().model_trained());
 }
 
+TEST_F(ManagerTest, ExecutionFeedbackReachesEstimator) {
+  // With cost-model learning on, every executed statement's access-path
+  // (estimated, observed) pairs flow from the operator pipeline through
+  // the executor's feedback hook into the benefit estimator.
+  AutoIndexConfig config = FastConfig();
+  config.learn_cost_model = true;
+  AutoIndexManager manager(&db_, config);
+  RunWorkloadObserved(&manager,
+                      EpidemicWorkload::PhaseW1(epidemic_, 150, 1));
+  EXPECT_GT(manager.estimator().num_feedback_pairs(), 0u);
+  manager.RunManagementRound();
+  ASSERT_GT(db_.index_manager().num_indexes(), 0u);
+
+  // Re-run the phase over the freshly built indexes and track which ones
+  // the executor reports using.
+  std::vector<std::string> used;
+  for (const std::string& sql :
+       EpidemicWorkload::PhaseW1(epidemic_, 150, 2)) {
+    auto r = manager.ExecuteAndObserve(sql);
+    ASSERT_TRUE(r.ok()) << sql;
+    for (const std::string& name : r->indexes_used) {
+      if (std::find(used.begin(), used.end(), name) == used.end()) {
+        used.push_back(name);
+      }
+    }
+  }
+  ASSERT_FALSE(used.empty()) << "tuned workload should hit its indexes";
+
+  // Every index-scan access path the workload exercised must have fed at
+  // least one (estimated, observed) pair back to the estimator.
+  for (const std::string& name : used) {
+    std::string table;
+    for (const BuiltIndex* index : db_.index_manager().AllIndexes()) {
+      if (index->def().DisplayName() == name) table = index->def().table;
+    }
+    ASSERT_FALSE(table.empty()) << name;
+    EXPECT_TRUE(manager.estimator().HasFeedbackFor(table, name)) << name;
+    const double ratio = manager.estimator().FeedbackCostRatio(table, name);
+    EXPECT_GT(ratio, 0.0) << name;
+  }
+
+  // The feedback channel is separate from the training-observation store:
+  // sampling config governs the latter, not the former.
+  EXPECT_GT(manager.estimator().num_feedback_pairs(), used.size());
+}
+
+TEST_F(ManagerTest, FeedbackHookNotInstalledWhenLearningOff) {
+  AutoIndexManager manager(&db_, FastConfig());  // learn_cost_model = false
+  RunWorkloadObserved(&manager,
+                      EpidemicWorkload::PhaseW1(epidemic_, 60, 1));
+  EXPECT_EQ(manager.estimator().num_feedback_pairs(), 0u);
+}
+
 TEST_F(ManagerTest, ElapsedTimeReported) {
   AutoIndexManager manager(&db_, FastConfig());
   RunWorkloadObserved(&manager,
