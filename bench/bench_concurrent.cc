@@ -1,0 +1,111 @@
+// Concurrent execution bench: N client threads replay a TPC-C (and
+// banking) trace through per-thread Sessions while the AutoIndex manager
+// runs tuning epochs on a background thread. Reports per-thread
+// throughput/latency plus a single-threaded baseline so the latching
+// overhead on the sequential path is visible.
+//
+// Usage: bench_concurrent [client_threads] [queries]
+// This is the binary the TSan acceptance gate runs (scripts/check.sh).
+
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "check/validator.h"
+#include "workload/banking.h"
+#include "workload/driver.h"
+#include "workload/tpcc.h"
+
+namespace autoindex {
+namespace {
+
+void PrintClientRows(const DriverReport& report) {
+  for (size_t i = 0; i < report.clients.size(); ++i) {
+    const ClientMetrics& c = report.clients[i];
+    std::printf("  client %zu | queries %6zu (failed %zu) | "
+                "avg latency %8.2f | throughput %8.3f | wall %8.1f ms\n",
+                i, c.queries, c.failed, c.AvgLatency(), c.Throughput(),
+                c.wall_ms);
+  }
+  const ClientMetrics total = report.Aggregate();
+  std::printf("  TOTAL    | queries %6zu (failed %zu) | "
+              "avg latency %8.2f | throughput %8.3f | wall %8.1f ms\n",
+              total.queries, total.failed, total.AvgLatency(),
+              total.Throughput(), total.wall_ms);
+  if (report.tuning_rounds > 0 || report.observed > 0) {
+    std::printf("  tuning   | rounds %zu | observed %zu | +%zu / -%zu "
+                "indexes\n",
+                report.tuning_rounds, report.observed, report.indexes_added,
+                report.indexes_removed);
+  }
+}
+
+void RequireClean(const Database& db) {
+  const CheckReport check = CheckAll(db);
+  if (!check.ok()) {
+    std::printf("INVARIANT FAILURE:\n%s\n", check.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("  invariants: %s\n", check.ToString().c_str());
+}
+
+void RunTpcc(int threads, size_t num_queries) {
+  bench::PrintHeader("Concurrent TPC-C replay (sessions + table latches)");
+  const TpccConfig config;
+  const std::vector<std::string> trace =
+      TpccWorkload::Generate(config, num_queries, /*seed=*/7);
+
+  {
+    Database db;
+    TpccWorkload::Populate(&db, config);
+    db.Analyze();
+    std::printf("single-thread baseline (1 session, no tuning):\n");
+    PrintClientRows(RunSequentialWorkload(&db, trace));
+  }
+
+  Database db;
+  TpccWorkload::Populate(&db, config);
+  db.Analyze();
+  AutoIndexManager manager(&db);
+  DriverConfig driver;
+  driver.client_threads = threads;
+  driver.background_tuning = true;
+  driver.tuning_batch = num_queries / 4 + 1;
+  std::printf("%d client threads + background tuning:\n", threads);
+  PrintClientRows(RunConcurrentWorkload(&manager, trace, driver));
+  RequireClean(db);
+}
+
+void RunBanking(int threads, size_t num_queries) {
+  bench::PrintHeader("Concurrent banking replay (hybrid OLTP + OLAP)");
+  BankingConfig config;
+  config.num_tables = 24;
+  config.manual_indexes = 40;
+  const std::vector<std::string> trace =
+      BankingWorkload::HybridService(config, num_queries, /*seed=*/11);
+
+  Database db;
+  BankingWorkload::Populate(&db, config);
+  BankingWorkload::CreateManualIndexes(&db, config);
+  db.Analyze();
+  AutoIndexManager manager(&db);
+  DriverConfig driver;
+  driver.client_threads = threads;
+  driver.background_tuning = true;
+  driver.tuning_batch = num_queries / 4 + 1;
+  std::printf("%d client threads + background tuning:\n", threads);
+  PrintClientRows(RunConcurrentWorkload(&manager, trace, driver));
+  RequireClean(db);
+}
+
+}  // namespace
+}  // namespace autoindex
+
+int main(int argc, char** argv) {
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const size_t queries =
+      argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 1200;
+  autoindex::RunTpcc(threads, queries);
+  autoindex::RunBanking(threads, queries / 2);
+  std::printf("\nOK\n");
+  return 0;
+}

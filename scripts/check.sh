@@ -63,4 +63,13 @@ ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
 UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
   ctest --test-dir build-asan -L 'property|fuzz' --output-on-failure
 
+step "sanitizer build (TSan, -Werror)"
+cmake -B build-tsan -S . \
+  -DAUTOINDEX_SANITIZE=thread -DAUTOINDEX_WERROR=ON >/dev/null
+cmake --build build-tsan -j "${JOBS}"
+
+step "tier-1 + concurrency tests under TSan"
+TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+  ctest --test-dir build-tsan -L 'tier1|concurrency' --output-on-failure
+
 step "OK"

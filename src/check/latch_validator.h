@@ -1,0 +1,23 @@
+#pragma once
+
+#include "check/validator.h"
+
+namespace autoindex {
+
+// Audits the LatchManager's bookkeeping (one consistent DebugSnapshot):
+//  - a latch is never held shared and exclusive at the same time;
+//  - reader/writer counts agree exactly with the per-thread held lists
+//    (a count with no recorded holder is a leak; a holder with no count
+//    is a double-release);
+//  - every thread's held list respects the global sorted-name acquisition
+//    order with no duplicates — the invariant the deadlock-freedom
+//    argument rests on.
+// No-ops when the context carries no latch manager (bare Catalog +
+// IndexManager checks).
+class LatchValidator : public Validator {
+ public:
+  const char* name() const override { return "latches"; }
+  void Validate(const CheckContext& ctx, CheckReport* report) const override;
+};
+
+}  // namespace autoindex

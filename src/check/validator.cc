@@ -3,9 +3,11 @@
 #include "check/btree_validator.h"
 #include "check/catalog_validator.h"
 #include "check/heap_validator.h"
+#include "check/latch_validator.h"
 #include "check/mcts_validator.h"
 #include "check/plan_validator.h"
 #include "engine/database.h"
+#include "storage/latch_manager.h"
 #include "util/string_util.h"
 
 namespace autoindex {
@@ -35,6 +37,7 @@ ValidatorRegistry& ValidatorRegistry::Default() {
     registry.Register(std::make_unique<CatalogConsistencyValidator>());
     registry.Register(std::make_unique<MctsPolicyTreeValidator>());
     registry.Register(std::make_unique<PhysicalPlanValidator>());
+    registry.Register(std::make_unique<LatchValidator>());
     return true;
   }();
   (void)populated;
@@ -66,18 +69,28 @@ void FillPlanContext(const Database& db, CheckContext* ctx) {
 }  // namespace
 
 CheckReport CheckAll(const Database& db) {
+  // Freeze the data under audit: shared latches on every table, taken as
+  // ONE sorted acquisition so this composes with the global lock order.
+  // Callers must not hold statement latches (ExecuteOn and the DDL paths
+  // release theirs before running the invariant hook).
+  LatchManager::Guard guard =
+      db.latches().AcquireShared(db.catalog().TableNames());
   CheckContext ctx;
   ctx.catalog = &db.catalog();
   ctx.indexes = &db.index_manager();
+  ctx.latches = &db.latches();
   FillPlanContext(db, &ctx);
   return ValidatorRegistry::Default().RunAll(ctx);
 }
 
 CheckReport CheckAll(const Database& db, const MctsIndexSelector& mcts) {
+  LatchManager::Guard guard =
+      db.latches().AcquireShared(db.catalog().TableNames());
   CheckContext ctx;
   ctx.catalog = &db.catalog();
   ctx.indexes = &db.index_manager();
   ctx.mcts = &mcts;
+  ctx.latches = &db.latches();
   FillPlanContext(db, &ctx);
   return ValidatorRegistry::Default().RunAll(ctx);
 }

@@ -11,6 +11,7 @@ namespace autoindex {
 class Catalog;
 class Database;
 class IndexManager;
+class LatchManager;
 class MctsIndexSelector;
 struct ExecStats;
 struct PlanNodeSnapshot;
@@ -64,6 +65,9 @@ struct CheckContext {
   // physical-plan validator.
   const PlanNodeSnapshot* last_plan = nullptr;
   const ExecStats* last_plan_stats = nullptr;
+  // The database's table-latch manager (absent in bare storage-level
+  // checks). Audited by the LatchValidator.
+  const LatchManager* latches = nullptr;
 };
 
 // A structural invariant checker over one subsystem. Implementations live

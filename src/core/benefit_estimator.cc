@@ -15,8 +15,23 @@ WorkloadModel WorkloadModel::FromTemplates(
   return model;
 }
 
+namespace {
+
+// Finalizer-strength 64-bit mixer (splitmix64): every input bit affects
+// every output bit, so combining mixed values resists cancellation.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 uint64_t HashConfig(const IndexConfig& config) {
-  // XOR of per-def FNV hashes: order-independent.
+  // Order-independent combine via *summation* of mixed per-def hashes.
+  // The previous XOR combine cancelled duplicate defs (a ^ a == 0), making
+  // {d1, d1, d2} collide with {d2}; addition keeps multiplicity visible.
   uint64_t h = 0x12345678;
   for (const IndexDef& def : config.defs()) {
     const std::string key = def.Key();
@@ -25,9 +40,9 @@ uint64_t HashConfig(const IndexConfig& config) {
       d ^= c;
       d *= 1099511628211ULL;
     }
-    h ^= d;
+    h += Mix64(d);
   }
-  return h;
+  return Mix64(h);
 }
 
 double IndexBenefitEstimator::CombineFeatures(
@@ -46,16 +61,34 @@ double IndexBenefitEstimator::EstimateStatementCost(
 double IndexBenefitEstimator::EstimateWorkloadCost(
     const WorkloadModel& workload, const IndexConfig& config) const {
   const uint64_t config_hash = HashConfig(config);
+  const uint64_t epoch = db_->data_version();
   double total = 0.0;
   for (const WorkloadModel::Entry& entry : workload.entries) {
-    const uint64_t key = entry.tmpl->id * 0x9e3779b97f4a7c15ULL ^ config_hash;
-    auto it = cache_.find(key);
+    // Full-avalanche combine of (template id, config hash). The old
+    // `id * K ^ config_hash` key let (id, config) pairs collide whenever
+    // id*K differences matched config-hash differences; mixing after the
+    // combine removes that linear structure.
+    const uint64_t key = Mix64(Mix64(entry.tmpl->id) ^ config_hash);
     double cost;
-    if (it != cache_.end()) {
-      cost = it->second;
-    } else {
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      if (cache_epoch_ != epoch) {
+        // Data or statistics moved since these entries were computed.
+        cache_.clear();
+        cache_epoch_ = epoch;
+      }
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        cost = it->second;
+        hit = true;
+      }
+    }
+    if (!hit) {
+      // Compute outside the lock: the what-if model is the expensive part.
       cost = EstimateStatementCost(entry.tmpl->representative, config);
-      cache_.emplace(key, cost);
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      if (cache_epoch_ == epoch) cache_.emplace(key, cost);
     }
     total += entry.weight * cost;
   }
@@ -71,20 +104,44 @@ double IndexBenefitEstimator::EstimateBenefit(const WorkloadModel& workload,
 
 void IndexBenefitEstimator::AddObservation(const std::vector<double>& features,
                                            double measured_cost) {
+  std::lock_guard<std::mutex> lock(obs_mu_);
   features_.push_back(features);
   targets_.push_back(measured_cost);
 }
 
+size_t IndexBenefitEstimator::num_observations() const {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  return features_.size();
+}
+
+void IndexBenefitEstimator::InvalidateCache() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_.clear();
+}
+
+size_t IndexBenefitEstimator::cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.size();
+}
+
 double IndexBenefitEstimator::TrainModel(size_t min_observations) {
-  if (features_.size() < min_observations) return -1.0;
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  {
+    std::lock_guard<std::mutex> lock(obs_mu_);
+    if (features_.size() < min_observations) return -1.0;
+    features = features_;
+    targets = targets_;
+  }
   TrainConfig config;
   config.epochs = 200;
-  const double mse = model_.Train(features_, targets_, config);
-  cache_.clear();  // model change invalidates memoized costs
+  const double mse = model_.Train(features, targets, config);
+  InvalidateCache();  // model change invalidates memoized costs
   return mse;
 }
 
 double IndexBenefitEstimator::CrossValidateRmse() const {
+  std::lock_guard<std::mutex> lock(obs_mu_);
   return SigmoidRegression::CrossValidate(features_, targets_, 9);
 }
 
@@ -98,6 +155,7 @@ std::string PathKey(const std::string& table, const std::string& index) {
 
 void IndexBenefitEstimator::RecordExecutionFeedback(
     const std::vector<AccessPathFeedback>& batch) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
   for (const AccessPathFeedback& fb : batch) {
     PathFeedback& agg = path_feedback_[PathKey(fb.table, fb.index)];
     agg.est_cost_sum += fb.est_cost;
@@ -109,13 +167,20 @@ void IndexBenefitEstimator::RecordExecutionFeedback(
   }
 }
 
+size_t IndexBenefitEstimator::num_feedback_pairs() const {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  return num_feedback_pairs_;
+}
+
 bool IndexBenefitEstimator::HasFeedbackFor(const std::string& table,
                                            const std::string& index) const {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
   return path_feedback_.find(PathKey(table, index)) != path_feedback_.end();
 }
 
 double IndexBenefitEstimator::FeedbackCostRatio(
     const std::string& table, const std::string& index) const {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
   auto it = path_feedback_.find(PathKey(table, index));
   if (it == path_feedback_.end()) return 1.0;
   const PathFeedback& agg = it->second;

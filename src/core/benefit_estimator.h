@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstdint>
+#include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -41,7 +44,11 @@ class IndexBenefitEstimator {
                                const IndexConfig& config) const;
 
   // Estimated total workload cost. Memoized per (template, config) — MCTS
-  // evaluates thousands of configs over the same templates.
+  // evaluates thousands of configs over the same templates. The memo is
+  // epoch-guarded: it self-flushes whenever the database's data version
+  // (bumped by writes, bulk loads, DDL, and ANALYZE) has moved since the
+  // entries were computed, so costs can never be served against stale
+  // table contents or statistics.
   double EstimateWorkloadCost(const WorkloadModel& workload,
                               const IndexConfig& config) const;
 
@@ -58,13 +65,16 @@ class IndexBenefitEstimator {
   // a negative value when skipped.
   double TrainModel(size_t min_observations = 64);
   bool model_trained() const { return model_.trained(); }
-  size_t num_observations() const { return features_.size(); }
+  size_t num_observations() const;
   // 9-fold cross-validated RMSE over the collected history.
   double CrossValidateRmse() const;
 
-  // Flushes the (template, config) memo; required after Analyze() or any
-  // table mutation that changes statistics.
-  void InvalidateCache() const { cache_.clear(); }
+  // Explicitly flushes the (template, config) memo. Usually unnecessary —
+  // the epoch guard (see EstimateWorkloadCost) invalidates automatically
+  // on data/stats change — but kept for model swaps and tests.
+  void InvalidateCache() const;
+  // Memo entries currently held (tests).
+  size_t cache_size() const;
 
   // --- execution feedback (the EXPLAIN ANALYZE loop) ---
   // Records the per-access-path (estimated, observed) pairs the executor
@@ -74,7 +84,7 @@ class IndexBenefitEstimator {
   // the observation history trains the statement-level cost model.
   void RecordExecutionFeedback(const std::vector<AccessPathFeedback>& batch);
   // Total pairs ever recorded.
-  size_t num_feedback_pairs() const { return num_feedback_pairs_; }
+  size_t num_feedback_pairs() const;
   // Whether at least one pair was recorded for the path. `index` is the
   // display name; empty means the sequential-scan path.
   bool HasFeedbackFor(const std::string& table,
@@ -97,11 +107,24 @@ class IndexBenefitEstimator {
 
   Database* db_;
   SigmoidRegression model_;
+
+  // Guards the observation history (client feedback hooks append while
+  // the tuning thread trains/reads).
+  mutable std::mutex obs_mu_;
   std::vector<std::vector<double>> features_;
   std::vector<double> targets_;
-  // Memo: (template id, config hash) -> cost.
+
+  // Guards the cost memo and its data-version epoch.
+  mutable std::mutex cache_mu_;
+  // Memo: hash-combined (template id, config hash) -> cost.
   mutable std::unordered_map<uint64_t, double> cache_;
-  // Per-access-path aggregates, keyed "<table>\x01<index display name>".
+  // Database data version the memo entries were computed at.
+  mutable uint64_t cache_epoch_ = 0;
+
+  // Guards the per-access-path aggregates (written from client threads
+  // via the execution-feedback hook, read by the tuning thread).
+  mutable std::mutex feedback_mu_;
+  // Keyed "<table>\x01<index display name>".
   std::unordered_map<std::string, PathFeedback> path_feedback_;
   size_t num_feedback_pairs_ = 0;
 };

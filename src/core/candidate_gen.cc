@@ -236,7 +236,7 @@ void CandidateGenerator::FromSelect(const SelectStatement& stmt,
       const std::string table =
           TableOfColumn(col, stmt.from, db_->catalog());
       if (table.empty()) continue;
-      const ColumnStats* cs =
+      const std::shared_ptr<const ColumnStats> cs =
           db_->stats_manager().GetColumnStats(table, col.column);
       const HeapTable* t = db_->catalog().GetTable(table);
       if (cs != nullptr && t != nullptr &&

@@ -40,6 +40,7 @@ MctsIndexSelector::MctsIndexSelector(Database* db,
 MctsIndexSelector::~MctsIndexSelector() = default;
 
 void MctsIndexSelector::Reset() {
+  std::lock_guard<std::mutex> lock(tree_mu_);
   root_.reset();
   tree_size_ = 0;
 }
@@ -217,6 +218,7 @@ double MctsIndexSelector::EvaluateNode(
 MctsResult MctsIndexSelector::Run(const IndexConfig& existing,
                                   const std::vector<IndexDef>& candidates,
                                   const WorkloadModel& workload) {
+  std::lock_guard<std::mutex> lock(tree_mu_);
   ++generation_;
   workload_ = &workload;
 
@@ -308,10 +310,11 @@ MctsResult MctsIndexSelector::Run(const IndexConfig& existing,
 }
 
 Status MctsIndexSelector::ValidateTree() const {
+  std::lock_guard<std::mutex> lock(tree_mu_);
   if (root_ == nullptr) {
-    if (tree_size_ != 0) {
+    if (tree_size() != 0) {
       return Status::Internal(StrCat(
-          "mcts: no tree but tree_size reports ", tree_size_));
+          "mcts: no tree but tree_size reports ", tree_size()));
     }
     return Status::Ok();
   }
@@ -323,7 +326,7 @@ Status MctsIndexSelector::ValidateTree() const {
   std::vector<const Node*> todo = {root_.get()};
   // unique_ptr ownership rules out true cycles, but corrupted bookkeeping
   // should still terminate: bound the walk by the reported size.
-  const size_t max_nodes = tree_size_ + 16;
+  const size_t max_nodes = tree_size() + 16;
   while (!todo.empty()) {
     const Node* node = todo.back();
     todo.pop_back();
@@ -364,20 +367,22 @@ Status MctsIndexSelector::ValidateTree() const {
           child_visits));
     }
   }
-  if (walked != tree_size_) {
-    return Status::Internal(StrCat("mcts: tree_size reports ", tree_size_,
+  if (walked != tree_size()) {
+    return Status::Internal(StrCat("mcts: tree_size reports ", tree_size(),
                                    " nodes but walk found ", walked));
   }
   return Status::Ok();
 }
 
 bool MctsIndexSelector::TestOnlyCorruptVisitCount() {
+  std::lock_guard<std::mutex> lock(tree_mu_);
   if (root_ == nullptr || root_->children.empty()) return false;
   root_->children[0]->visits = root_->visits + 1;
   return true;
 }
 
 bool MctsIndexSelector::TestOnlyCorruptBenefit() {
+  std::lock_guard<std::mutex> lock(tree_mu_);
   if (root_ == nullptr) return false;
   root_->benefit = 2.0;
   return true;

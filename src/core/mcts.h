@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/benefit_estimator.h"
@@ -56,6 +58,12 @@ struct MctsResult {
 // management rounds, Run() rebases the root onto the node matching the new
 // existing set when possible, preserving explored statistics — this is the
 // paper's incremental index update.
+//
+// Thread safety: tuning itself is single-threaded (one manager thread owns
+// Run), but validators running on client threads may walk the persistent
+// tree concurrently — an internal mutex serializes Run/Reset/ValidateTree
+// and the test-only corruption hooks, and tree_size() is an atomic
+// snapshot readable without it.
 class MctsIndexSelector {
  public:
   MctsIndexSelector(Database* db, IndexBenefitEstimator* estimator,
@@ -74,7 +82,9 @@ class MctsIndexSelector {
 
   // Drops the persistent tree (tests / hard workload resets).
   void Reset();
-  size_t tree_size() const { return tree_size_; }
+  size_t tree_size() const {
+    return tree_size_.load(std::memory_order_relaxed);
+  }
 
   // Deep structural validation of the persistent policy tree: parent/child
   // links symmetric, visit count of every node >= sum of its children's
@@ -120,8 +130,11 @@ class MctsIndexSelector {
   MctsConfig config_;
   Random rng_;
 
+  // Serializes tree structure access (Run/Reset/ValidateTree/corruption
+  // hooks); see class comment.
+  mutable std::mutex tree_mu_;
   std::unique_ptr<Node> root_;
-  size_t tree_size_ = 0;
+  std::atomic<size_t> tree_size_{0};
   uint64_t generation_ = 0;
 
   // Per-Run scratch.

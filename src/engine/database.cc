@@ -1,15 +1,81 @@
 #include "engine/database.h"
 
+#include <utility>
+
+#include "engine/session.h"
+
 namespace autoindex {
+namespace {
+
+// The latch set of one statement: shared on every FROM table for SELECT,
+// exclusive on the target table for writes. Derived up front so the whole
+// set is acquired in the LatchManager's global order.
+std::vector<LatchManager::LatchRequest> StatementLatches(
+    const Statement& stmt) {
+  std::vector<LatchManager::LatchRequest> requests;
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      for (const TableRef& ref : stmt.select->from) {
+        requests.push_back({ref.table, LatchManager::LatchMode::kShared});
+      }
+      break;
+    case StatementKind::kInsert:
+      requests.push_back(
+          {stmt.insert->table, LatchManager::LatchMode::kExclusive});
+      break;
+    case StatementKind::kUpdate:
+      requests.push_back(
+          {stmt.update->table, LatchManager::LatchMode::kExclusive});
+      break;
+    case StatementKind::kDelete:
+      requests.push_back(
+          {stmt.del->table, LatchManager::LatchMode::kExclusive});
+      break;
+  }
+  return requests;
+}
+
+}  // namespace
 
 Database::Database(CostParams params) : params_(params) {
   catalog_ = std::make_unique<Catalog>();
   index_manager_ = std::make_unique<IndexManager>(catalog_.get());
   stats_manager_ = std::make_unique<StatsManager>(catalog_.get());
+  stats_manager_->set_latch_manager(&latches_);
   executor_ = std::make_unique<Executor>(catalog_.get(), index_manager_.get(),
                                          stats_manager_.get(), params_);
+  executor_->set_feedback_hook(
+      [this](const std::vector<AccessPathFeedback>& batch) {
+        DeliverFeedback(batch);
+      });
   what_if_ = std::make_unique<WhatIfCostModel>(catalog_.get(),
                                                stats_manager_.get(), params_);
+}
+
+Database::~Database() = default;
+
+std::unique_ptr<Session> Database::CreateSession() {
+  return std::make_unique<Session>(this);
+}
+
+std::unique_ptr<Executor> Database::MakeSessionExecutor() {
+  auto executor = std::make_unique<Executor>(
+      catalog_.get(), index_manager_.get(), stats_manager_.get(), params_);
+  executor->set_feedback_hook(
+      [this](const std::vector<AccessPathFeedback>& batch) {
+        DeliverFeedback(batch);
+      });
+  return executor;
+}
+
+void Database::set_execution_feedback_hook(Executor::FeedbackHook hook) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  feedback_hook_ = std::move(hook);
+}
+
+void Database::DeliverFeedback(const std::vector<AccessPathFeedback>& batch) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  if (feedback_hook_) feedback_hook_(batch);
 }
 
 StatusOr<HeapTable*> Database::CreateTable(const std::string& name,
@@ -18,14 +84,24 @@ StatusOr<HeapTable*> Database::CreateTable(const std::string& name,
 }
 
 Status Database::CreateIndex(const IndexDef& def) {
+  // Exclusive: the build scans the heap and a half-built index must never
+  // be visible to statement lowering.
+  LatchManager::Guard guard = latches_.AcquireExclusive(def.table);
   Status s = index_manager_->CreateIndex(def);
+  guard.Release();
   if (!s.ok()) return s;
+  BumpDataVersion();
   return RunInvariantHook();
 }
 
 Status Database::DropIndex(const std::string& key_or_name) {
+  const std::string table = index_manager_->TableOf(key_or_name);
+  LatchManager::Guard guard;
+  if (!table.empty()) guard = latches_.AcquireExclusive(table);
   Status s = index_manager_->DropIndex(key_or_name);
+  guard.Release();
   if (!s.ok()) return s;
+  BumpDataVersion();
   return RunInvariantHook();
 }
 
@@ -36,11 +112,23 @@ StatusOr<ExecResult> Database::Execute(const std::string& sql) {
 }
 
 StatusOr<ExecResult> Database::Execute(const Statement& stmt) {
-  StatusOr<ExecResult> result = executor_->Execute(stmt);
-  // Debug-mode structural validation after every successful mutation.
-  if (result.ok() && stmt.IsWrite() && debug_checks_enabled()) {
-    Status s = RunInvariantHook();
-    if (!s.ok()) return s;
+  return ExecuteOn(executor_.get(), stmt);
+}
+
+StatusOr<ExecResult> Database::ExecuteOn(Executor* executor,
+                                         const Statement& stmt) {
+  LatchManager::Guard guard = latches_.Acquire(StatementLatches(stmt));
+  StatusOr<ExecResult> result = executor->Execute(stmt);
+  // Release before the invariant hook: CheckAll re-latches every table in
+  // one sorted acquisition, and acquiring more tables while still holding
+  // this statement's set could break the global lock order.
+  guard.Release();
+  if (result.ok() && stmt.IsWrite()) {
+    BumpDataVersion();
+    if (debug_checks_enabled()) {
+      Status s = RunInvariantHook();
+      if (!s.ok()) return s;
+    }
   }
   return result;
 }
@@ -48,14 +136,28 @@ StatusOr<ExecResult> Database::Execute(const Statement& stmt) {
 Status Database::BulkInsert(const std::string& table, std::vector<Row> rows) {
   HeapTable* t = catalog_->GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
+  LatchManager::Guard guard = latches_.AcquireExclusive(table);
   for (Row& row : rows) {
     StatusOr<RowId> rid = t->Insert(std::move(row));
     if (!rid.ok()) return rid.status();
     index_manager_->OnInsert(table, *rid, t->Get(*rid));
   }
+  guard.Release();
+  BumpDataVersion();
   // One check for the whole batch — per-row validation would make bulk
   // loads quadratic under debug checks.
   return RunInvariantHook();
+}
+
+void Database::Analyze() {
+  stats_manager_->AnalyzeAll();
+  // Fresh statistics change every what-if estimate.
+  BumpDataVersion();
+}
+
+void Database::Analyze(const std::string& table) {
+  stats_manager_->Analyze(table);
+  BumpDataVersion();
 }
 
 IndexConfig Database::CurrentConfig() const {

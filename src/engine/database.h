@@ -1,7 +1,10 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,18 +14,36 @@
 #include "sql/parser.h"
 #include "stats/stats_manager.h"
 #include "storage/catalog.h"
+#include "storage/latch_manager.h"
 
 namespace autoindex {
+
+class Session;
 
 // The top-level database façade: catalog + indexes + statistics + executor
 // + what-if cost model. This is the substrate AutoIndex manages — the role
 // openGauss plays in the paper.
+//
+// Concurrency model (DESIGN.md §6): statements run under table-level
+// reader–writer latches managed by the LatchManager; multiple client
+// threads each drive their own Session (CreateSession) while the tuning
+// thread builds/drops indexes under exclusive latches. The monotone data
+// version counts every data-changing operation (writes, bulk loads, index
+// DDL, ANALYZE) so caches keyed on table contents/statistics — notably the
+// benefit estimator's cost memo — can detect staleness without callbacks.
 class Database {
  public:
   explicit Database(CostParams params = CostParams());
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  // --- Sessions ---
+  // A new client connection with its own executor and stats accounting.
+  // Sessions may outlive neither the database nor (safely) be shared
+  // between threads; create one per client thread.
+  std::unique_ptr<Session> CreateSession();
 
   // --- DDL ---
   StatusOr<HeapTable*> CreateTable(const std::string& name, Schema schema);
@@ -38,12 +59,17 @@ class Database {
   // Executes a pre-parsed statement (avoids re-parsing in tight loops).
   StatusOr<ExecResult> Execute(const Statement& stmt);
 
+  // Executes on a specific executor under statement latches (shared for
+  // SELECT on every referenced table, exclusive for writes). Used by
+  // Execute and by Session; most callers want those instead.
+  StatusOr<ExecResult> ExecuteOn(Executor* executor, const Statement& stmt);
+
   // Bulk load rows without per-statement accounting (population fast path).
   Status BulkInsert(const std::string& table, std::vector<Row> rows);
 
   // Refreshes optimizer statistics (call after bulk loads).
-  void Analyze() { stats_manager_->AnalyzeAll(); }
-  void Analyze(const std::string& table) { stats_manager_->Analyze(table); }
+  void Analyze();
+  void Analyze(const std::string& table);
 
   // --- What-if ---
   // Estimated cost of a statement under an arbitrary index configuration.
@@ -54,6 +80,20 @@ class Database {
 
   // The configuration matching the currently built indexes.
   IndexConfig CurrentConfig() const;
+
+  // --- Concurrency substrate ---
+  // Const: latching freezes tables without changing logical database
+  // state, and CheckAll must be able to do so through a const reference.
+  LatchManager& latches() const { return latches_; }
+  // Monotone counter bumped by every data-changing operation (successful
+  // write statements, BulkInsert, index DDL, ANALYZE). Epoch-guarded
+  // caches compare against it to detect staleness.
+  uint64_t data_version() const {
+    return data_version_.load(std::memory_order_acquire);
+  }
+  void BumpDataVersion() {
+    data_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
   // --- Correctness tooling (src/check/) ---
   // Debug-mode invariant hook: when installed, it runs after every
@@ -74,10 +114,17 @@ class Database {
   // --- Execution feedback ---
   // Forwards per-access-path (estimated, observed) pairs of every executed
   // statement to the given hook; installed by AutoIndexManager when
-  // cost-model learning is enabled.
-  void set_execution_feedback_hook(Executor::FeedbackHook hook) {
-    executor_->set_feedback_hook(std::move(hook));
-  }
+  // cost-model learning is enabled. The hook is shared by the legacy
+  // executor and every session executor, and may be (re)installed while
+  // sessions are executing.
+  void set_execution_feedback_hook(Executor::FeedbackHook hook);
+
+  // Internal: executors forward their per-statement feedback here.
+  void DeliverFeedback(const std::vector<AccessPathFeedback>& batch);
+
+  // Internal: a fresh executor wired to this database's feedback fan-in
+  // (Session construction).
+  std::unique_ptr<Executor> MakeSessionExecutor();
 
   // --- Introspection ---
   Executor& executor() { return *executor_; }
@@ -93,11 +140,17 @@ class Database {
  private:
   CostParams params_;
   InvariantHook invariant_hook_;
+  mutable LatchManager latches_;
+  std::atomic<uint64_t> data_version_{1};
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<IndexManager> index_manager_;
   std::unique_ptr<StatsManager> stats_manager_;
   std::unique_ptr<Executor> executor_;
   std::unique_ptr<WhatIfCostModel> what_if_;
+  // Guards the central feedback hook (installed by the manager, invoked
+  // from every client thread's executor).
+  std::mutex feedback_mu_;
+  Executor::FeedbackHook feedback_hook_;
 };
 
 }  // namespace autoindex

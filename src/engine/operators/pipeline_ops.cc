@@ -20,6 +20,9 @@ struct AggState {
   std::vector<Value> mins;
   std::vector<Value> maxs;
   std::vector<size_t> non_null;  // per aggregate item
+  // Item saw a non-numeric (string) input: SUM/AVG over it yield NULL
+  // instead of silently treating the strings as 0.
+  std::vector<bool> non_numeric;
 };
 
 struct GroupKeyHash {
@@ -95,20 +98,35 @@ void SortOp::EnsureSorted() {
   }
   if (mode_ == Mode::kTupleKeys) {
     stats_.sort_rows += static_cast<int64_t>(buffer_.size());
-    std::stable_sort(
-        buffer_.begin(), buffer_.end(),
-        [&](const ExecTuple& a, const ExecTuple& b) {
-          for (const OrderByItem& o : *order_by_) {
-            ++stats_.comparisons;
-            resolver_.Bind(&a, nullptr);
-            const Value va = ProjectColumn(resolver_, o.column);
-            resolver_.Bind(&b, nullptr);
-            const Value vb = ProjectColumn(resolver_, o.column);
-            const int c = va.Compare(vb);
-            if (c != 0) return o.desc ? c > 0 : c < 0;
-          }
-          return false;
-        });
+    // Precompute each tuple's sort key once (one Bind + one column
+    // resolution per key column), then sort an index permutation. The
+    // comparator used to re-Bind and re-resolve both sides on every
+    // comparison — O(n log n) resolver work instead of O(n).
+    std::vector<Row> keys(buffer_.size());
+    for (size_t i = 0; i < buffer_.size(); ++i) {
+      resolver_.Bind(&buffer_[i], nullptr);
+      keys[i].reserve(order_by_->size());
+      for (const OrderByItem& o : *order_by_) {
+        keys[i].push_back(ProjectColumn(resolver_, o.column));
+      }
+    }
+    std::vector<size_t> order(buffer_.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                       for (size_t j = 0; j < order_by_->size(); ++j) {
+                         ++stats_.comparisons;
+                         const int c = keys[a][j].Compare(keys[b][j]);
+                         if (c != 0) {
+                           return (*order_by_)[j].desc ? c > 0 : c < 0;
+                         }
+                       }
+                       return false;
+                     });
+    std::vector<ExecTuple> sorted;
+    sorted.reserve(buffer_.size());
+    for (size_t idx : order) sorted.push_back(std::move(buffer_[idx]));
+    buffer_ = std::move(sorted);
   } else {
     std::stable_sort(buffer_.begin(), buffer_.end(),
                      [&](const ExecTuple& a, const ExecTuple& b) {
@@ -151,11 +169,10 @@ std::string SortOp::detail() const {
 // --- LimitOp -------------------------------------------------------------
 
 bool LimitOp::Next(ExecTuple* out) {
+  // Short-circuit: once satisfied, never pull the child again (the whole
+  // point of LIMIT). Draining here used to force full upstream scans.
+  if (emitted_ >= limit_) return false;
   ExecTuple t;
-  if (emitted_ >= limit_) {
-    while (child_->Next(&t)) ++stats_.rows_in;  // drain, keep accounting
-    return false;
-  }
   if (!child_->Next(&t)) return false;
   ++stats_.rows_in;
   *out = std::move(t);
@@ -183,6 +200,7 @@ void HashAggregateOp::EnsureAggregated() {
       st.mins.assign(items_->size(), Value());
       st.maxs.assign(items_->size(), Value());
       st.non_null.assign(items_->size(), 0);
+      st.non_numeric.assign(items_->size(), false);
     }
     ++st.count;
     for (size_t k = 0; k < items_->size(); ++k) {
@@ -191,7 +209,9 @@ void HashAggregateOp::EnsureAggregated() {
       const Value v = ProjectColumn(resolver_, item.column);
       if (v.is_null()) continue;
       ++st.non_null[k];
-      if (v.type() != ValueType::kString) {
+      if (v.type() == ValueType::kString) {
+        st.non_numeric[k] = true;
+      } else {
         st.sums[k] += v.AsDouble();
       }
       if (st.mins[k].is_null() || v.Compare(st.mins[k]) < 0) st.mins[k] = v;
@@ -205,6 +225,7 @@ void HashAggregateOp::EnsureAggregated() {
     st.mins.assign(items_->size(), Value());
     st.maxs.assign(items_->size(), Value());
     st.non_null.assign(items_->size(), 0);
+    st.non_numeric.assign(items_->size(), false);
   }
   stats_.sort_rows += static_cast<int64_t>(groups.size());
   for (const auto& [key, st] : groups) {
@@ -231,11 +252,14 @@ void HashAggregateOp::EnsureAggregated() {
           break;
         }
         case AggFunc::kSum:
-          out.push_back(st.non_null[k] == 0 ? Value::Null()
-                                            : Value(st.sums[k]));
+          // SUM/AVG over non-numeric input is NULL — a string column used
+          // to contribute 0.0 silently.
+          out.push_back(st.non_null[k] == 0 || st.non_numeric[k]
+                            ? Value::Null()
+                            : Value(st.sums[k]));
           break;
         case AggFunc::kAvg:
-          out.push_back(st.non_null[k] == 0
+          out.push_back(st.non_null[k] == 0 || st.non_numeric[k]
                             ? Value::Null()
                             : Value(st.sums[k] / st.non_null[k]));
           break;

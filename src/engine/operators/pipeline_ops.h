@@ -107,10 +107,13 @@ class SortOp : public UnaryOpBase {
   size_t cursor_ = 0;
 };
 
-// LIMIT n. After the cap is reached the child is still drained to
-// exhaustion: the engine's accounting (and the what-if model pricing it)
-// has always been LIMIT-blind, and per-operator counters must keep summing
-// to the same statement totals.
+// LIMIT n with genuine early termination: once the cap is reached the
+// child is never pulled again, so upstream scans/joins stop doing work.
+// Statement ExecStats is derived by summing the operator counters of what
+// actually ran (AccumulateOperatorCounters), so the accounting and the
+// PhysicalPlanValidator stay exact under the short-circuit; the what-if
+// estimates stay LIMIT-blind and the est-vs-actual gap surfaces in
+// EXPLAIN ANALYZE and the feedback loop.
 class LimitOp : public UnaryOpBase {
  public:
   LimitOp(size_t limit, std::unique_ptr<PhysicalOperator> child)

@@ -178,7 +178,8 @@ std::vector<ColumnCondition> Planner::ExtractConditions(
 
 double Planner::EstimateConditionSelectivity(
     const std::string& table, const ColumnCondition& cond) const {
-  const ColumnStats* stats = stats_->GetColumnStats(table, cond.column);
+  const std::shared_ptr<const ColumnStats> stats =
+      stats_->GetColumnStats(table, cond.column);
   switch (cond.kind) {
     case ColumnCondition::kEq:
       if (cond.join_source.has_value()) {
@@ -218,7 +219,8 @@ double Planner::EstimateHeapFetchPages(const std::string& table,
   const double random_pages = std::min(table_pages, match_rows);
   const double clustered_pages = std::max(
       1.0, match_rows / static_cast<double>(t->RowsPerPage()));
-  const ColumnStats* stats = stats_->GetColumnStats(table, column);
+  const std::shared_ptr<const ColumnStats> stats =
+      stats_->GetColumnStats(table, column);
   const double corr = stats == nullptr ? 0.0 : stats->correlation();
   const double corr2 = corr * corr;
   return corr2 * clustered_pages + (1.0 - corr2) * random_pages;

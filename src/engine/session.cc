@@ -1,0 +1,27 @@
+#include "engine/session.h"
+
+#include "engine/database.h"
+
+namespace autoindex {
+
+Session::Session(Database* db)
+    : db_(db), executor_(db->MakeSessionExecutor()) {}
+
+Session::~Session() = default;
+
+StatusOr<ExecResult> Session::Execute(const std::string& sql) {
+  StatusOr<Statement> stmt = ParseSql(sql);
+  if (!stmt.ok()) return stmt.status();
+  return Execute(*stmt);
+}
+
+StatusOr<ExecResult> Session::Execute(const Statement& stmt) {
+  StatusOr<ExecResult> result = db_->ExecuteOn(executor_.get(), stmt);
+  if (result.ok()) {
+    cumulative_stats_ += result->stats;
+    ++statements_executed_;
+  }
+  return result;
+}
+
+}  // namespace autoindex

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "engine/executor.h"
+#include "sql/parser.h"
+#include "util/status.h"
+
+namespace autoindex {
+
+class Database;
+
+// One client connection. Each session owns a private Executor — the
+// executor keeps mutable per-statement state (the retained plan snapshot,
+// feedback buffers) that must not be shared between threads — and
+// accumulates per-connection ExecStats across statements.
+//
+// Statements execute under the database's table latches (shared for
+// SELECT on every referenced table, exclusive for writes on the target
+// table), so any number of sessions may run against one Database
+// concurrently, including while the AutoIndex manager tunes in the
+// background. A Session itself is NOT thread-safe: one thread per
+// session, many sessions per database.
+class Session {
+ public:
+  explicit Session(Database* db);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Parses and executes one SQL string under statement latches.
+  StatusOr<ExecResult> Execute(const std::string& sql);
+  // Executes a pre-parsed statement (avoids re-parsing in replay loops).
+  StatusOr<ExecResult> Execute(const Statement& stmt);
+
+  // Sum of ExecStats over every successful statement on this session —
+  // the per-connection cost accounting the driver reports.
+  const ExecStats& cumulative_stats() const { return cumulative_stats_; }
+  size_t statements_executed() const { return statements_executed_; }
+
+  // This session's private executor (retained plan snapshot etc.).
+  Executor& executor() { return *executor_; }
+  const Executor& executor() const { return *executor_; }
+
+  Database& db() { return *db_; }
+
+ private:
+  Database* db_;
+  std::unique_ptr<Executor> executor_;
+  ExecStats cumulative_stats_;
+  size_t statements_executed_ = 0;
+};
+
+}  // namespace autoindex

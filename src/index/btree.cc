@@ -310,7 +310,7 @@ Status BTree::ValidateStructure() const {
   todo.push_back({root_.get(), 1});
   // Corruption can introduce cycles (e.g. a child pointing back up); bound
   // the walk so validation always terminates.
-  const size_t max_nodes = num_nodes_ + 16;
+  const size_t max_nodes = num_nodes() + 16;
   while (!todo.empty()) {
     const Frame f = todo.back();
     todo.pop_back();
@@ -407,18 +407,18 @@ Status BTree::ValidateStructure() const {
   }
 
   // Reported stats vs the fresh walk.
-  if (stats.leaf_depth != height_) {
-    return Status::Internal(StrCat("btree: reported height ", height_,
+  if (stats.leaf_depth != height()) {
+    return Status::Internal(StrCat("btree: reported height ", height(),
                                    " but leaves sit at depth ",
                                    stats.leaf_depth));
   }
-  if (stats.nodes != num_nodes_) {
-    return Status::Internal(StrCat("btree: reported num_nodes ", num_nodes_,
+  if (stats.nodes != num_nodes()) {
+    return Status::Internal(StrCat("btree: reported num_nodes ", num_nodes(),
                                    " but walk found ", stats.nodes));
   }
-  if (stats.entries != num_entries_) {
+  if (stats.entries != num_entries()) {
     return Status::Internal(StrCat("btree: reported num_entries ",
-                                   num_entries_, " but leaves hold ",
+                                   num_entries(), " but leaves hold ",
                                    stats.entries));
   }
 

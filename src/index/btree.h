@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -59,14 +60,23 @@ class BTree {
   std::vector<RowId> PrefixLookup(const Row& prefix,
                                   size_t* pages_touched = nullptr) const;
 
-  size_t num_entries() const { return num_entries_; }
+  // Size counters are atomics so the tuning thread can sample them for
+  // cost estimation without holding the owning table's latch; structural
+  // access (Insert/Delete/Scan/Validate) still requires the latch.
+  size_t num_entries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
   // Tree height in levels (1 = a single leaf). 0 when empty.
-  size_t height() const { return height_; }
+  size_t height() const { return height_.load(std::memory_order_relaxed); }
   // Total nodes (≈ pages) in the tree.
-  size_t num_nodes() const { return num_nodes_; }
+  size_t num_nodes() const {
+    return num_nodes_.load(std::memory_order_relaxed);
+  }
   // Page splits performed since construction — an index-churn signal used
   // by the maintenance-cost features.
-  size_t num_splits() const { return num_splits_; }
+  size_t num_splits() const {
+    return num_splits_.load(std::memory_order_relaxed);
+  }
 
   size_t leaf_capacity() const { return leaf_capacity_; }
 
@@ -103,10 +113,10 @@ class BTree {
   std::unique_ptr<Node> root_;
   size_t leaf_capacity_;
   size_t internal_capacity_;
-  size_t num_entries_ = 0;
-  size_t height_ = 0;
-  size_t num_nodes_ = 0;
-  size_t num_splits_ = 0;
+  std::atomic<size_t> num_entries_{0};
+  std::atomic<size_t> height_{0};
+  std::atomic<size_t> num_nodes_{0};
+  std::atomic<size_t> num_splits_{0};
 };
 
 }  // namespace autoindex

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -52,22 +54,28 @@ class BuiltIndex {
   size_t num_splits() const;
   size_t SizeBytes() const;
 
-  // Planner usage accounting (Sec. III "rarely-used indexes").
-  void RecordUse() { ++uses_; }
-  size_t uses() const { return uses_; }
-  void ResetUses() { uses_ = 0; }
+  // Planner usage accounting (Sec. III "rarely-used indexes"). Atomic:
+  // bumped by planner threads under a shared latch, read/reset by the
+  // tuning thread.
+  void RecordUse() { uses_.fetch_add(1, std::memory_order_relaxed); }
+  size_t uses() const { return uses_.load(std::memory_order_relaxed); }
+  void ResetUses() { uses_.store(0, std::memory_order_relaxed); }
 
   // Maintenance accounting: number of write operations applied.
-  size_t maintenance_ops() const { return maintenance_ops_; }
-  void RecordMaintenance() { ++maintenance_ops_; }
+  size_t maintenance_ops() const {
+    return maintenance_ops_.load(std::memory_order_relaxed);
+  }
+  void RecordMaintenance() {
+    maintenance_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   IndexDef def_;
   const HeapTable* table_;
   std::vector<int> column_ordinals_;
   std::vector<std::unique_ptr<BTree>> trees_;
-  size_t uses_ = 0;
-  size_t maintenance_ops_ = 0;
+  std::atomic<size_t> uses_{0};
+  std::atomic<size_t> maintenance_ops_{0};
 };
 
 // A what-if index (Sec. V C2.1): never built, its statistics are estimated
@@ -99,6 +107,11 @@ IndexStatsView EstimateStatsView(const IndexDef& def, const HeapTable& table);
 
 // Owns every secondary index of a database and keeps them consistent with
 // table writes. Also hosts the hypothetical-index registry.
+//
+// Thread safety: the index *map* is guarded by an internal shared_mutex
+// (concurrent lookups vs index build/drop). Mutating an index's *entries*
+// (OnInsert/OnDelete/OnUpdate, CreateIndex's build scan) requires the
+// owning table's exclusive latch, same as the heap rows they shadow.
 class IndexManager {
  public:
   explicit IndexManager(Catalog* catalog) : catalog_(catalog) {}
@@ -112,12 +125,16 @@ class IndexManager {
   Status DropIndex(const std::string& index_key_or_name);
   bool HasIndex(const IndexDef& def) const;
 
+  // Table owning the index named by key or display name; empty string if
+  // the index is unknown. Used to pick the exclusive latch before a drop.
+  std::string TableOf(const std::string& index_key_or_name) const;
+
   // All built indexes on one table (borrowed pointers).
   std::vector<BuiltIndex*> IndexesOnTable(const std::string& table);
   std::vector<const BuiltIndex*> IndexesOnTable(const std::string& table) const;
   std::vector<BuiltIndex*> AllIndexes();
   std::vector<const BuiltIndex*> AllIndexes() const;
-  size_t num_indexes() const { return indexes_.size(); }
+  size_t num_indexes() const;
 
   // Total bytes of all built indexes.
   size_t TotalIndexBytes() const;
@@ -131,10 +148,10 @@ class IndexManager {
 
   // --- Hypothetical indexes ---
   Status AddHypothetical(const IndexDef& def);
-  void ClearHypothetical() { hypothetical_.clear(); }
-  const std::vector<HypotheticalIndex>& hypothetical() const {
-    return hypothetical_;
-  }
+  void ClearHypothetical();
+  // Snapshot by value: the registry may be swapped by a concurrent
+  // what-if round.
+  std::vector<HypotheticalIndex> hypothetical() const;
 
   // Stats views of every index (built + hypothetical) on a table; this is
   // what the what-if planner enumerates.
@@ -144,6 +161,7 @@ class IndexManager {
   Status ValidateDef(const IndexDef& def) const;
 
   Catalog* catalog_;
+  mutable std::shared_mutex mu_;
   // Keyed by IndexDef::Key().
   std::unordered_map<std::string, std::unique_ptr<BuiltIndex>> indexes_;
   std::vector<HypotheticalIndex> hypothetical_;

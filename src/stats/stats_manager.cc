@@ -9,11 +9,18 @@ namespace autoindex {
 void StatsManager::Analyze(const std::string& table) {
   const HeapTable* t = catalog_->GetTable(table);
   if (t == nullptr) return;
-  auto& per_col = cache_[ToLower(table)];
-  per_col.clear();
+  // Scan under a shared latch (no-op when the calling statement already
+  // holds this table), then publish the snapshot under the cache mutex.
+  LatchManager::Guard guard;
+  if (latches_ != nullptr) guard = latches_->AcquireShared({table});
+  std::unordered_map<std::string, std::shared_ptr<const ColumnStats>> built;
   for (size_t i = 0; i < t->schema().num_columns(); ++i) {
-    per_col[t->schema().column(i).name] = ColumnStats::Build(*t, i);
+    built[t->schema().column(i).name] =
+        std::make_shared<const ColumnStats>(ColumnStats::Build(*t, i));
   }
+  guard.Release();
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_[ToLower(table)] = std::move(built);
 }
 
 void StatsManager::AnalyzeAll() {
@@ -21,21 +28,27 @@ void StatsManager::AnalyzeAll() {
 }
 
 void StatsManager::Invalidate(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
   cache_.erase(ToLower(table));
 }
 
-const ColumnStats* StatsManager::GetColumnStats(const std::string& table,
-                                                const std::string& column) {
+std::shared_ptr<const ColumnStats> StatsManager::GetColumnStats(
+    const std::string& table, const std::string& column) {
   const std::string tkey = ToLower(table);
-  auto it = cache_.find(tkey);
-  if (it == cache_.end()) {
-    Analyze(table);
-    it = cache_.find(tkey);
-    if (it == cache_.end()) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(tkey);
+    if (it != cache_.end()) {
+      auto cit = it->second.find(ToLower(column));
+      return cit == it->second.end() ? nullptr : cit->second;
+    }
   }
+  Analyze(table);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(tkey);
+  if (it == cache_.end()) return nullptr;
   auto cit = it->second.find(ToLower(column));
-  if (cit == it->second.end()) return nullptr;
-  return &cit->second;
+  return cit == it->second.end() ? nullptr : cit->second;
 }
 
 namespace {
@@ -85,7 +98,8 @@ double StatsManager::AtomSelectivity(const Expr& atom,
         return 1.0;
       }
       if (!RefTargetsTable(col, ToLower(table), alias)) return 1.0;
-      const ColumnStats* stats = GetColumnStats(table, col.column);
+      const std::shared_ptr<const ColumnStats> stats =
+          GetColumnStats(table, col.column);
       if (stats == nullptr) return 1.0;
       return stats->Selectivity(op, lit);
     }
@@ -93,7 +107,8 @@ double StatsManager::AtomSelectivity(const Expr& atom,
       if (atom.children[0]->kind != ExprKind::kColumn) return 0.33;
       const ColumnRef& col = atom.children[0]->column;
       if (!RefTargetsTable(col, ToLower(table), alias)) return 1.0;
-      const ColumnStats* stats = GetColumnStats(table, col.column);
+      const std::shared_ptr<const ColumnStats> stats =
+          GetColumnStats(table, col.column);
       if (stats == nullptr) return 0.33;
       return stats->RangeSelectivity(atom.children[1]->literal,
                                      atom.children[2]->literal);
@@ -102,7 +117,8 @@ double StatsManager::AtomSelectivity(const Expr& atom,
       if (atom.children[0]->kind != ExprKind::kColumn) return 0.33;
       const ColumnRef& col = atom.children[0]->column;
       if (!RefTargetsTable(col, ToLower(table), alias)) return 1.0;
-      const ColumnStats* stats = GetColumnStats(table, col.column);
+      const std::shared_ptr<const ColumnStats> stats =
+          GetColumnStats(table, col.column);
       if (stats == nullptr) return 0.33;
       const double sel = stats->InListSelectivity(atom.in_list);
       return atom.negated ? std::max(0.0, 1.0 - sel) : sel;
@@ -111,7 +127,8 @@ double StatsManager::AtomSelectivity(const Expr& atom,
       if (atom.children[0]->kind != ExprKind::kColumn) return 0.1;
       const ColumnRef& col = atom.children[0]->column;
       if (!RefTargetsTable(col, ToLower(table), alias)) return 1.0;
-      const ColumnStats* stats = GetColumnStats(table, col.column);
+      const std::shared_ptr<const ColumnStats> stats =
+          GetColumnStats(table, col.column);
       if (stats == nullptr) return 0.1;
       const double null_frac =
           stats->num_rows() == 0

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -7,18 +9,31 @@
 #include "sql/expr.h"
 #include "stats/column_stats.h"
 #include "storage/catalog.h"
+#include "storage/latch_manager.h"
 
 namespace autoindex {
 
 // Caches per-table, per-column statistics and estimates predicate
 // selectivities. Stats go stale as tables mutate; callers re-ANALYZE via
 // Invalidate()/Analyze() (the workload runner does this between rounds).
+//
+// Thread safety: the cache is mutex-guarded and hands out shared_ptr
+// snapshots, so a concurrent re-ANALYZE can swap a table's stats without
+// invalidating pointers a planner thread is still reading. When a latch
+// manager is attached (set_latch_manager), the ANALYZE table scan runs
+// under a shared table latch — a no-op if the calling statement already
+// latched the table.
 class StatsManager {
  public:
   explicit StatsManager(Catalog* catalog) : catalog_(catalog) {}
 
   StatsManager(const StatsManager&) = delete;
   StatsManager& operator=(const StatsManager&) = delete;
+
+  // Attaches the database's latch manager; scans latch tables from then
+  // on. Must be called before concurrent use (Database does this at
+  // construction).
+  void set_latch_manager(LatchManager* latches) { latches_ = latches; }
 
   // (Re)builds statistics for one table.
   void Analyze(const std::string& table);
@@ -27,9 +42,10 @@ class StatsManager {
   void Invalidate(const std::string& table);
 
   // Stats for a column; builds them lazily on first access. Returns
-  // nullptr when the table/column does not exist.
-  const ColumnStats* GetColumnStats(const std::string& table,
-                                    const std::string& column);
+  // nullptr when the table/column does not exist. The snapshot stays
+  // valid (immutable) even if the table is re-analyzed concurrently.
+  std::shared_ptr<const ColumnStats> GetColumnStats(
+      const std::string& table, const std::string& column);
 
   // Estimated fraction of `table` rows satisfying the boolean expression.
   // ANDs multiply (independence), ORs combine via inclusion-exclusion,
@@ -44,9 +60,12 @@ class StatsManager {
 
  private:
   Catalog* catalog_;
-  // table -> column -> stats
-  std::unordered_map<std::string,
-                     std::unordered_map<std::string, ColumnStats>>
+  LatchManager* latches_ = nullptr;
+  mutable std::mutex mu_;
+  // table -> column -> immutable stats snapshot
+  std::unordered_map<
+      std::string,
+      std::unordered_map<std::string, std::shared_ptr<const ColumnStats>>>
       cache_;
 };
 

@@ -1,6 +1,7 @@
 #include "storage/catalog.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "util/string_util.h"
 
@@ -9,6 +10,7 @@ namespace autoindex {
 StatusOr<HeapTable*> Catalog::CreateTable(const std::string& name,
                                           Schema schema) {
   const std::string key = ToLower(name);
+  std::unique_lock lock(mu_);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table exists: " + key);
   }
@@ -19,6 +21,7 @@ StatusOr<HeapTable*> Catalog::CreateTable(const std::string& name,
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  std::unique_lock lock(mu_);
   if (tables_.erase(ToLower(name)) == 0) {
     return Status::NotFound("no such table: " + name);
   }
@@ -26,16 +29,19 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 HeapTable* Catalog::GetTable(const std::string& name) {
+  std::shared_lock lock(mu_);
   auto it = tables_.find(ToLower(name));
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 const HeapTable* Catalog::GetTable(const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = tables_.find(ToLower(name));
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);
@@ -43,7 +49,13 @@ std::vector<std::string> Catalog::TableNames() const {
   return names;
 }
 
+size_t Catalog::num_tables() const {
+  std::shared_lock lock(mu_);
+  return tables_.size();
+}
+
 size_t Catalog::TotalHeapBytes() const {
+  std::shared_lock lock(mu_);
   size_t total = 0;
   for (const auto& [_, table] : tables_) total += table->SizeBytes();
   return total;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +13,11 @@ namespace autoindex {
 
 // Owns all tables of one database instance. Table names are
 // case-insensitive.
+//
+// Thread safety: the table *map* is guarded by an internal shared_mutex,
+// so concurrent lookups and DDL are safe. The returned HeapTable pointers
+// stay stable until DropTable; protecting the table *contents* is the
+// LatchManager's job, not the catalog's.
 class Catalog {
  public:
   Catalog() = default;
@@ -29,12 +35,13 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
-  size_t num_tables() const { return tables_.size(); }
+  size_t num_tables() const;
 
   // Sum of heap bytes across all tables (excludes indexes).
   size_t TotalHeapBytes() const;
 
  private:
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<HeapTable>> tables_;
 };
 

@@ -21,8 +21,9 @@ bool HeapTable::SetPartitioning(const std::string& column,
 }
 
 size_t HeapTable::NumPages() const {
-  if (rows_.empty()) return 0;
-  return (rows_.size() + rows_per_page_ - 1) / rows_per_page_;
+  const size_t slots = num_slots();
+  if (slots == 0) return 0;
+  return (slots + rows_per_page_ - 1) / rows_per_page_;
 }
 
 StatusOr<RowId> HeapTable::Insert(Row row) {
@@ -33,7 +34,8 @@ StatusOr<RowId> HeapTable::Insert(Row row) {
   }
   rows_.push_back(std::move(row));
   deleted_.push_back(false);
-  ++live_rows_;
+  allocated_slots_.fetch_add(1, std::memory_order_relaxed);
+  live_rows_.fetch_add(1, std::memory_order_relaxed);
   return static_cast<RowId>(rows_.size() - 1);
 }
 
@@ -57,7 +59,7 @@ Status HeapTable::Delete(RowId rid) {
                                       name_.c_str()));
   }
   deleted_[rid] = true;
-  --live_rows_;
+  live_rows_.fetch_sub(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -22,6 +23,12 @@ inline constexpr size_t kPageSizeBytes = 8192;
 // order; the slot id is the RowId. Page accounting is logical: rows are
 // assigned to fixed-capacity pages in slot order, so a sequential scan of
 // the table "reads" NumPages() pages — this feeds the cost model.
+//
+// Thread safety: row data (Insert/Update/Delete/Scan/Get) must run under
+// the table's latch (shared for reads, exclusive for writes) — see
+// storage/latch_manager.h. The size counters (num_rows/num_slots/NumPages/
+// SizeBytes) are atomics so the tuning thread may sample them without a
+// latch for cost estimation and budget accounting.
 class HeapTable {
  public:
   HeapTable(std::string name, Schema schema);
@@ -50,9 +57,13 @@ class HeapTable {
   }
 
   // Number of live (non-deleted) rows.
-  size_t num_rows() const { return live_rows_; }
+  size_t num_rows() const {
+    return live_rows_.load(std::memory_order_relaxed);
+  }
   // Total slots ever allocated, including tombstones.
-  size_t num_slots() const { return rows_.size(); }
+  size_t num_slots() const {
+    return allocated_slots_.load(std::memory_order_relaxed);
+  }
 
   // Rows per logical heap page under this schema (>= 1).
   size_t RowsPerPage() const { return rows_per_page_; }
@@ -92,7 +103,9 @@ class HeapTable {
   // --- Test-only corruption hooks -----------------------------------
   // Let check_test damage the slot accounting to prove the heap validator
   // detects it (see src/check/). Never call outside tests.
-  void TestOnlySetLiveRows(size_t n) { live_rows_ = n; }
+  void TestOnlySetLiveRows(size_t n) {
+    live_rows_.store(n, std::memory_order_relaxed);
+  }
   // Drops the last column of a live row, breaking schema arity; false if
   // the slot is dead, out of range, or already empty.
   bool TestOnlyTruncateRow(RowId rid) {
@@ -106,7 +119,9 @@ class HeapTable {
   Schema schema_;
   std::vector<Row> rows_;
   std::vector<bool> deleted_;
-  size_t live_rows_ = 0;
+  // Counters shadow rows_/deleted_ so they can be read without the latch.
+  std::atomic<size_t> live_rows_{0};
+  std::atomic<size_t> allocated_slots_{0};
   size_t rows_per_page_ = 1;
   int partition_column_ = -1;
   size_t num_partitions_ = 0;

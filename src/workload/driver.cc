@@ -1,0 +1,153 @@
+#include "workload/driver.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "engine/session.h"
+
+namespace autoindex {
+namespace {
+
+// Statements executed by client threads, drained by the tuning thread.
+// Unbounded: observation is strictly cheaper than execution, so the queue
+// cannot outgrow the trace.
+class ObservationQueue {
+ public:
+  void Push(const std::string& sql) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      items_.push_back(sql);
+    }
+    cv_.notify_one();
+  }
+
+  // Blocks until an item arrives or the queue is closed AND empty.
+  bool Pop(std::string* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::string> items_;
+  bool closed_ = false;
+};
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// One client thread: replay an interleaved slice of the trace through a
+// private Session, feed the observation queue.
+void ClientLoop(Database* db, const std::vector<std::string>& queries,
+                size_t offset, size_t stride, ObservationQueue* observations,
+                ClientMetrics* metrics) {
+  const auto start = std::chrono::steady_clock::now();
+  std::unique_ptr<Session> session = db->CreateSession();
+  for (size_t i = offset; i < queries.size(); i += stride) {
+    StatusOr<ExecResult> result = session->Execute(queries[i]);
+    ++metrics->queries;
+    if (!result.ok()) {
+      ++metrics->failed;
+      continue;
+    }
+    metrics->total_cost += result->stats.ToCost(db->params()).Total();
+    if (observations != nullptr) observations->Push(queries[i]);
+  }
+  metrics->wall_ms = ElapsedMs(start);
+}
+
+}  // namespace
+
+ClientMetrics DriverReport::Aggregate() const {
+  ClientMetrics total;
+  for (const ClientMetrics& c : clients) {
+    total.queries += c.queries;
+    total.failed += c.failed;
+    total.total_cost += c.total_cost;
+  }
+  total.wall_ms = wall_ms;
+  return total;
+}
+
+DriverReport RunConcurrentWorkload(AutoIndexManager* manager,
+                                   const std::vector<std::string>& queries,
+                                   const DriverConfig& config) {
+  Database* db = &manager->db();
+  const size_t num_clients =
+      config.client_threads < 1 ? 1 : static_cast<size_t>(config.client_threads);
+
+  DriverReport report;
+  report.clients.resize(num_clients);
+  ObservationQueue observations;
+  const auto start = std::chrono::steady_clock::now();
+
+  // Tuning thread: the ONLY thread that touches the template store and
+  // runs management rounds; it observes what the clients executed and
+  // builds/drops indexes under the database's exclusive table latches
+  // while the clients keep executing.
+  std::thread tuner;
+  if (config.background_tuning) {
+    tuner = std::thread([&] {
+      size_t since_round = 0;
+      std::string sql;
+      while (observations.Pop(&sql)) {
+        manager->ObserveOnly(sql);
+        ++report.observed;
+        if (++since_round >= config.tuning_batch &&
+            report.tuning_rounds < config.max_tuning_rounds) {
+          since_round = 0;
+          const TuningResult result = manager->RunManagementRound();
+          ++report.tuning_rounds;
+          report.indexes_added += result.added.size();
+          report.indexes_removed += result.removed.size();
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (size_t tid = 0; tid < num_clients; ++tid) {
+    clients.emplace_back(ClientLoop, db, std::cref(queries), tid, num_clients,
+                         config.background_tuning ? &observations : nullptr,
+                         &report.clients[tid]);
+  }
+  for (std::thread& t : clients) t.join();
+  observations.Close();
+  if (tuner.joinable()) tuner.join();
+
+  report.wall_ms = ElapsedMs(start);
+  return report;
+}
+
+DriverReport RunSequentialWorkload(Database* db,
+                                   const std::vector<std::string>& queries) {
+  DriverReport report;
+  report.clients.resize(1);
+  const auto start = std::chrono::steady_clock::now();
+  ClientLoop(db, queries, 0, 1, nullptr, &report.clients[0]);
+  report.wall_ms = ElapsedMs(start);
+  return report;
+}
+
+}  // namespace autoindex

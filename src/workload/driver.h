@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/manager.h"
+#include "engine/database.h"
+
+namespace autoindex {
+
+// Configuration of one concurrent replay (bench_concurrent, the
+// concurrency stress tests).
+struct DriverConfig {
+  // Client threads; queries are dealt round-robin so every thread replays
+  // an interleaved slice of the trace.
+  int client_threads = 4;
+  // When true, a dedicated tuning thread drains every executed statement
+  // into the AutoIndexManager (ObserveOnly) and runs a management round
+  // every `tuning_batch` observations — index builds/drops happen WHILE
+  // the clients keep executing.
+  bool background_tuning = true;
+  size_t tuning_batch = 200;
+  // Upper bound on management rounds (a safety valve for short traces).
+  size_t max_tuning_rounds = 8;
+};
+
+// What one client thread saw. Cost-unit latency/throughput definitions
+// match RunMetrics (workload.h): deterministic cost units, not wall time.
+struct ClientMetrics {
+  size_t queries = 0;
+  size_t failed = 0;
+  double total_cost = 0.0;
+  double wall_ms = 0.0;
+
+  double AvgLatency() const {
+    return queries == 0 ? 0.0 : total_cost / queries;
+  }
+  double Throughput() const {
+    return total_cost <= 0.0 ? 0.0 : 1000.0 * queries / total_cost;
+  }
+};
+
+// The outcome of one concurrent replay.
+struct DriverReport {
+  std::vector<ClientMetrics> clients;
+  size_t tuning_rounds = 0;
+  size_t observed = 0;  // statements the tuning thread ingested
+  size_t indexes_added = 0;
+  size_t indexes_removed = 0;
+  double wall_ms = 0.0;  // end-to-end (slowest client + drain)
+
+  // Sum over clients (wall_ms = the report's end-to-end time).
+  ClientMetrics Aggregate() const;
+};
+
+// Replays `queries` from `config.client_threads` threads, each driving its
+// own Session, while (optionally) a tuning thread observes the stream and
+// runs management rounds concurrently. Returns after every client finished
+// and the tuning thread drained its queue.
+DriverReport RunConcurrentWorkload(AutoIndexManager* manager,
+                                   const std::vector<std::string>& queries,
+                                   const DriverConfig& config = {});
+
+// Single-threaded baseline: the same Session execution path minus the
+// threads and tuning (the pre-concurrency comparison bench_concurrent
+// reports against).
+DriverReport RunSequentialWorkload(Database* db,
+                                   const std::vector<std::string>& queries);
+
+}  // namespace autoindex

@@ -115,7 +115,7 @@ TEST_F(IndexManagerTest, HypotheticalIndexesEstimateStats) {
   IndexManager mgr(&catalog_);
   ASSERT_TRUE(mgr.AddHypothetical(IndexDef("t", {"a", "b"})).ok());
   ASSERT_EQ(mgr.hypothetical().size(), 1u);
-  const HypotheticalIndex& hypo = mgr.hypothetical()[0];
+  const HypotheticalIndex hypo = mgr.hypothetical()[0];
   EXPECT_EQ(hypo.est_entries, 500u);
   EXPECT_GE(hypo.est_height, 1u);
   EXPECT_GE(hypo.est_bytes, kPageSizeBytes);

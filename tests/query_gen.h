@@ -192,6 +192,16 @@ inline std::vector<Row> ReferenceSelect(const Database& db,
             row.push_back(Value::Null());
             break;
           }
+          // Mirrors HashAggregateOp: SUM/AVG over non-numeric (string)
+          // input is NULL, never a silent 0.0 contribution.
+          const bool non_numeric = std::any_of(
+              vals.begin(), vals.end(), [](const Value& v) {
+                return v.type() == ValueType::kString;
+              });
+          if (non_numeric) {
+            row.push_back(Value::Null());
+            break;
+          }
           double sum = 0;
           for (const Value& v : vals) sum += v.AsDouble();
           row.push_back(item.agg == AggFunc::kSum
@@ -298,9 +308,14 @@ struct GenContext {
       sql = "SELECT a, b, c FROM t1 WHERE " + RandExpr(2, false);
       if (rng.Bernoulli(0.3)) sql += " ORDER BY a";
       if (rng.Bernoulli(0.2)) sql += " LIMIT 7";
-    } else if (kind < 8) {
+    } else if (kind < 7) {
       sql = "SELECT b, COUNT(*), SUM(a), MIN(c), MAX(a) FROM t1 WHERE " +
             RandExpr(2, false) + " GROUP BY b";
+    } else if (kind < 8) {
+      // Aggregates over the string column: SUM/AVG must be NULL, MIN/MAX
+      // and COUNT operate normally (regression for the silent-0.0 bug).
+      sql = "SELECT b, COUNT(s), SUM(s), AVG(s), MIN(s), MAX(s) FROM t1 "
+            "WHERE " + RandExpr(2, false) + " GROUP BY b";
     } else {
       sql = "SELECT COUNT(*), AVG(a) FROM t1 WHERE " + RandExpr(2, false);
     }

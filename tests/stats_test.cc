@@ -89,12 +89,16 @@ TEST_F(StatsTest, StringColumnStats) {
 
 TEST_F(StatsTest, ManagerCachesAndInvalidates) {
   StatsManager mgr(&catalog_);
-  const ColumnStats* first = mgr.GetColumnStats("t", "u");
+  const std::shared_ptr<const ColumnStats> first =
+      mgr.GetColumnStats("t", "u");
   ASSERT_NE(first, nullptr);
-  EXPECT_EQ(mgr.GetColumnStats("t", "u"), first);  // cached pointer
+  EXPECT_EQ(mgr.GetColumnStats("t", "u"), first);  // cached snapshot
   mgr.Invalidate("t");
-  const ColumnStats* second = mgr.GetColumnStats("t", "u");
+  const std::shared_ptr<const ColumnStats> second =
+      mgr.GetColumnStats("t", "u");
   ASSERT_NE(second, nullptr);
+  // A pre-invalidation snapshot stays readable (immutable shared_ptr).
+  EXPECT_EQ(first->num_rows(), second->num_rows());
   EXPECT_EQ(mgr.GetColumnStats("t", "nope"), nullptr);
   EXPECT_EQ(mgr.GetColumnStats("missing", "u"), nullptr);
 }
