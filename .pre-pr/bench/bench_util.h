@@ -1,0 +1,129 @@
+// Shared helpers for the per-figure/table reproduction benches. Each bench
+// binary regenerates one table or figure of the paper (see DESIGN.md's
+// experiment index) and prints the corresponding rows/series.
+
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/manager.h"
+#include "workload/workload.h"
+
+namespace autoindex {
+namespace bench {
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+// Outcome of tuning a database with one method and replaying a workload.
+struct MethodOutcome {
+  std::string method;
+  RunMetrics metrics;
+  size_t num_indexes = 0;
+  size_t index_bytes = 0;
+  double tuning_ms = 0.0;
+  std::vector<IndexDef> added;
+  std::vector<IndexDef> removed;
+};
+
+// The paper's Greedy baseline pipeline: per-query candidate extraction
+// (no templates) + top-k individual-benefit selection under the budget.
+// Returns the selection and fills `tuning_ms` with the end-to-end
+// management overhead (candidate extraction + selection).
+inline GreedyResult RunGreedyPipeline(Database* db,
+                                      const std::vector<std::string>& queries,
+                                      size_t storage_budget_bytes,
+                                      double* tuning_ms,
+                                      size_t* num_candidates = nullptr,
+                                      double* extraction_ms = nullptr) {
+  const auto start = std::chrono::steady_clock::now();
+  db->Analyze();
+  IndexBenefitEstimator estimator(db);
+  CandidateGenerator generator(db);
+
+  // Query-level extraction: parse and analyze every query individually
+  // (this is exactly the overhead the template store avoids, Fig. 8).
+  std::vector<IndexDef> candidates;
+  TemplateStore weights(100000);  // frequency bookkeeping only
+  for (const std::string& sql : queries) {
+    auto stmt = ParseSql(sql);
+    if (!stmt.ok()) continue;
+    weights.Observe(*stmt, sql);
+    std::vector<IndexDef> per = generator.FromStatement(*stmt);
+    candidates.insert(candidates.end(),
+                      std::make_move_iterator(per.begin()),
+                      std::make_move_iterator(per.end()));
+  }
+  candidates = MergeCandidates(std::move(candidates));
+  const IndexConfig existing = db->CurrentConfig();
+  std::vector<IndexDef> fresh;
+  for (IndexDef& def : candidates) {
+    if (!existing.Contains(def)) fresh.push_back(std::move(def));
+  }
+  if (num_candidates != nullptr) *num_candidates = fresh.size();
+  if (extraction_ms != nullptr) {
+    *extraction_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  }
+
+  const WorkloadModel workload =
+      WorkloadModel::FromTemplates(weights.TemplatesByFrequency());
+  GreedyConfig config;
+  config.storage_budget_bytes = storage_budget_bytes;
+  GreedySelector greedy(db, &estimator, config);
+  GreedyResult result = greedy.Run(existing, fresh, workload);
+  const auto end = std::chrono::steady_clock::now();
+  if (tuning_ms != nullptr) {
+    *tuning_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+  }
+  return result;
+}
+
+// Applies a greedy selection to the database (creates the chosen indexes).
+inline void ApplyGreedy(Database* db, const GreedyResult& result) {
+  for (const IndexDef& def : result.to_add) {
+    CheckOk(db->CreateIndex(def));
+  }
+}
+
+// Runs AutoIndex end-to-end on a fresh manager: execute+observe the
+// workload (so templates, usage counters, and training data accumulate),
+// run `rounds` management rounds, return the tuning overhead.
+inline double RunAutoIndexTuning(AutoIndexManager* manager,
+                                 const std::vector<std::string>& queries,
+                                 int rounds = 1,
+                                 TuningResult* last = nullptr) {
+  RunWorkloadObserved(manager, queries);
+  double total_ms = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    TuningResult result = manager->RunManagementRound();
+    total_ms += result.elapsed_ms;
+    if (last != nullptr) *last = result;
+    if (result.added.empty() && result.removed.empty()) break;
+  }
+  return total_ms;
+}
+
+inline void PrintOutcomeRow(const MethodOutcome& o) {
+  std::printf("%-10s | latency %10.1f | throughput %8.3f | indexes %3zu | "
+              "size %6.2f MiB | tuning %8.1f ms\n",
+              o.method.c_str(), o.metrics.total_cost,
+              o.metrics.Throughput(), o.num_indexes,
+              o.index_bytes / 1048576.0, o.tuning_ms);
+}
+
+}  // namespace bench
+}  // namespace autoindex

@@ -1,0 +1,86 @@
+// Reproduces Figure 8: template-based vs query-based index management.
+// Paper shape: templatization removes ~98.5% of the management overhead
+// (candidate generation + selection) while the resulting workload
+// performance is within ~0.1% of the query-level method.
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "workload/tpcc.h"
+
+using namespace autoindex;         // NOLINT
+using namespace autoindex::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Figure 8 — Template-based vs query-based index management");
+  TpccConfig config;
+  config.warehouses = 2;
+  // A large repetitive stream — the regime where templates pay off.
+  const auto tuning_queries = TpccWorkload::Generate(config, 4000, 7);
+  const auto eval_queries = TpccWorkload::Generate(config, 800, 99);
+
+  // --- Query-level method: parse & analyze every query individually,
+  // then select greedily over the full candidate set. ---
+  Database query_db;
+  TpccWorkload::Populate(&query_db, config);
+  TpccWorkload::CreateDefaultIndexes(&query_db);
+  double query_ms = 0.0;
+  double query_extract_ms = 0.0;
+  size_t query_candidates = 0;
+  GreedyResult query_sel =
+      RunGreedyPipeline(&query_db, tuning_queries, 0, &query_ms,
+                        &query_candidates, &query_extract_ms);
+  ApplyGreedy(&query_db, query_sel);
+  RunMetrics query_perf = RunWorkload(&query_db, eval_queries);
+
+  // --- Template-based method (AutoIndex): observe into the template
+  // store, generate candidates from templates only. ---
+  Database tmpl_db;
+  TpccWorkload::Populate(&tmpl_db, config);
+  TpccWorkload::CreateDefaultIndexes(&tmpl_db);
+  AutoIndexConfig ai;
+  ai.learn_cost_model = false;  // both methods share the static Sec.-V estimator (paper fairness)
+  ai.mcts.iterations = 250;
+  AutoIndexManager manager(&tmpl_db, ai);
+  // Template observation happens online while queries execute (the paper
+  // reports <1% impact on the workload); management overhead is what the
+  // tuning request itself costs.
+  const auto observe_start = std::chrono::steady_clock::now();
+  ObserveWorkload(&manager, tuning_queries);
+  const auto observe_end = std::chrono::steady_clock::now();
+  const double observe_ms =
+      std::chrono::duration<double, std::milli>(observe_end - observe_start)
+          .count();
+  TuningResult tuning = manager.RunManagementRound();
+  const double tmpl_ms = tuning.elapsed_ms;
+  RunMetrics tmpl_perf = RunWorkload(&tmpl_db, eval_queries);
+
+  std::printf("\n%-28s %14s %14s\n", "", "query-level", "template-based");
+  PrintRule();
+  // The paper's Fig. 8 compares the per-query analysis overhead (parse +
+  // index-requirement extraction per statement vs. per template).
+  std::printf("%-28s %11.1f ms %11.1f ms  (%.1f%% less)\n",
+              "candidate generation", query_extract_ms,
+              tuning.candidate_gen_ms,
+              100.0 * (query_extract_ms - tuning.candidate_gen_ms) /
+                  query_extract_ms);
+  std::printf("%-28s %11.1f ms %11.1f ms\n", "index selection",
+              query_ms - query_extract_ms, tuning.search_ms);
+  std::printf("%-28s %11.1f ms %11.1f ms  (%.1f%% less)\n",
+              "total management overhead", query_ms, tmpl_ms,
+              100.0 * (query_ms - tmpl_ms) / query_ms);
+  std::printf("%-28s %14s %11.1f ms  (amortized online)\n",
+              "template collection", "-", observe_ms);
+  std::printf("%-28s %14zu %14zu\n", "statements analyzed",
+              tuning_queries.size(), tuning.templates_considered);
+  std::printf("%-28s %14zu %14zu\n", "candidates considered",
+              query_candidates, tuning.candidates_generated);
+  std::printf("%-28s %14.1f %14.1f  (gap %.2f%%)\n",
+              "workload cost after tuning", query_perf.total_cost,
+              tmpl_perf.total_cost,
+              100.0 * (tmpl_perf.total_cost - query_perf.total_cost) /
+                  query_perf.total_cost);
+  std::printf("\npaper shape: overhead drops by ~98%%; performance gap "
+              "within a fraction of a percent\n");
+  return 0;
+}

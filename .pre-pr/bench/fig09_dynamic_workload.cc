@@ -1,0 +1,83 @@
+// Reproduces Figure 9: throughput over time on a dynamic TPC-C workload
+// whose transaction mix drifts each phase; index management runs between
+// phases (the paper tunes every five minutes).
+// Paper shape: Default slowly degrades as tables grow; Greedy helps but
+// lags; AutoIndex adapts each round and stays on top.
+
+#include "bench/bench_util.h"
+#include "workload/tpcc.h"
+
+using namespace autoindex;         // NOLINT
+using namespace autoindex::bench;  // NOLINT
+
+namespace {
+
+constexpr int kPhases = 6;
+constexpr size_t kTxnsPerPhase = 400;
+
+TpccMix PhaseMix(int phase) {
+  switch (phase % 3) {
+    case 0:
+      return TpccMix();  // standard
+    case 1:
+      return TpccWorkload::WriteHeavyMix();
+    default:
+      return TpccWorkload::ReadHeavyMix();
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 9 — Throughput timeline on a dynamic TPC-C workload");
+
+  // Three separately-populated databases, one per method.
+  Database def_db, greedy_db, auto_db;
+  TpccConfig config;
+  config.warehouses = 2;
+  for (Database* db : {&def_db, &greedy_db, &auto_db}) {
+    TpccWorkload::Populate(db, config);
+    TpccWorkload::CreateDefaultIndexes(db);
+  }
+
+  AutoIndexConfig ai;
+  ai.learn_cost_model = false;  // both methods share the static Sec.-V estimator (paper fairness)
+  ai.mcts.iterations = 200;
+  AutoIndexManager manager(&auto_db, ai);
+
+  std::printf("\n%-8s %-12s %12s %12s %12s %14s\n", "phase", "mix",
+              "Default", "Greedy", "AutoIndex", "mgmt ms (G/A)");
+  PrintRule();
+  for (int phase = 0; phase < kPhases; ++phase) {
+    const TpccMix mix = PhaseMix(phase);
+    const char* mix_name =
+        phase % 3 == 0 ? "standard" : (phase % 3 == 1 ? "write-heavy"
+                                                      : "read-heavy");
+    const auto queries =
+        TpccWorkload::Generate(config, kTxnsPerPhase, 100 + phase, mix);
+
+    RunMetrics def_m = RunWorkload(&def_db, queries);
+    RunMetrics greedy_m = RunWorkload(&greedy_db, queries);
+    RunMetrics auto_m = RunWorkloadObserved(&manager, queries);
+
+    // Inter-phase management (the "every five minutes" tuning).
+    double greedy_ms = 0.0;
+    GreedyResult greedy_sel =
+        RunGreedyPipeline(&greedy_db, queries, 0, &greedy_ms);
+    ApplyGreedy(&greedy_db, greedy_sel);
+    TuningResult auto_tuning = manager.RunManagementRound();
+
+    std::printf("%-8d %-12s %12.3f %12.3f %12.3f %7.0f/%-7.0f\n", phase + 1,
+                mix_name, def_m.Throughput(), greedy_m.Throughput(),
+                auto_m.Throughput(), greedy_ms, auto_tuning.elapsed_ms);
+  }
+  PrintRule();
+  std::printf("indexes at end: Default %zu, Greedy %zu, AutoIndex %zu\n",
+              def_db.index_manager().num_indexes(),
+              greedy_db.index_manager().num_indexes(),
+              auto_db.index_manager().num_indexes());
+  std::printf("\npaper shape: AutoIndex tracks the mix shifts and holds the "
+              "best throughput; its management latency stays below the "
+              "query-level Greedy pipeline\n");
+  return 0;
+}

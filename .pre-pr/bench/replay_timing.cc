@@ -1,0 +1,17 @@
+#include <chrono>
+#include <cstdio>
+#include "workload/tpcc.h"
+#include "workload/workload.h"
+int main() {
+  autoindex::TpccConfig config;
+  autoindex::Database db;
+  autoindex::TpccWorkload::Populate(&db, config);
+  db.Analyze();
+  const auto trace = autoindex::TpccWorkload::Generate(config, 1200, 7);
+  for (int rep = 0; rep < 3; ++rep) {
+    const autoindex::RunMetrics m = autoindex::RunWorkload(&db, trace);
+    std::printf("queries=%zu failed=%zu wall_ms=%.1f\n", m.queries, m.failed,
+                m.wall_ms);
+  }
+  return 0;
+}

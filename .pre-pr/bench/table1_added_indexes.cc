@@ -1,0 +1,108 @@
+// Reproduces Table I: the indexes Greedy and AutoIndex add on top of the
+// TPC-C1x Default configuration, with each index's cost reduction on the
+// queries it serves.
+// Paper shape: both pick the big (o_c_id, o_w_id, o_d_id) order-status
+// index (~99% reduction on its query); only AutoIndex additionally keeps
+// the lower-individual-benefit s_quality and (o_c_id, o_d_id)-style
+// indexes whose combined effect pays off.
+
+#include "bench/bench_util.h"
+#include "util/string_util.h"
+#include "workload/tpcc.h"
+
+using namespace autoindex;         // NOLINT
+using namespace autoindex::bench;  // NOLINT
+
+namespace {
+
+// Measured cost reduction of `def` on a probe query: executes with the
+// current estate, then with `def` dropped, and reports the reduction.
+double CostReductionPercent(Database* db, const IndexDef& def,
+                            const std::string& probe_sql) {
+  auto with = db->Execute(probe_sql);
+  if (!with.ok()) return 0.0;
+  const double cost_with = with->stats.ToCost(db->params()).Total();
+  db->DropIndex(def.Key()).ok();
+  auto without = db->Execute(probe_sql);
+  db->CreateIndex(def).ok();
+  if (!without.ok()) return 0.0;
+  const double cost_without = without->stats.ToCost(db->params()).Total();
+  if (cost_without <= 0.0) return 0.0;
+  return 100.0 * (cost_without - cost_with) / cost_without;
+}
+
+// A representative query served by the index (matched on leading column).
+std::string ProbeFor(const IndexDef& def, const TpccConfig& config) {
+  auto one = TpccWorkload::Generate(config, 400, 31);
+  for (const std::string& sql : one) {
+    if (sql.rfind("SELECT", 0) != 0) continue;
+    // Heuristic: the query mentions the leading index column in its WHERE.
+    if (sql.find(def.columns[0] + " ") != std::string::npos ||
+        sql.find(def.columns[0] + " =") != std::string::npos) {
+      return sql;
+    }
+  }
+  return one.empty() ? "" : one[0];
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table I — Indexes added beyond Default on TPC-C1x");
+  TpccConfig config;
+  config.warehouses = 1;
+  const auto tuning = TpccWorkload::Generate(config, 500, 7);
+
+  // --- Greedy ---
+  Database greedy_db;
+  TpccWorkload::Populate(&greedy_db, config);
+  TpccWorkload::CreateDefaultIndexes(&greedy_db);
+  double greedy_ms = 0.0;
+  RunWorkload(&greedy_db, tuning);  // same warm-up as AutoIndex
+  GreedyResult greedy = RunGreedyPipeline(&greedy_db, tuning, 0, &greedy_ms);
+  ApplyGreedy(&greedy_db, greedy);
+
+  // --- AutoIndex ---
+  Database auto_db;
+  TpccWorkload::Populate(&auto_db, config);
+  TpccWorkload::CreateDefaultIndexes(&auto_db);
+  AutoIndexConfig ai;
+  ai.learn_cost_model = false;  // both methods share the static Sec.-V estimator (paper fairness)
+  ai.mcts.iterations = 300;
+  AutoIndexManager manager(&auto_db, ai);
+  TuningResult auto_result;
+  RunAutoIndexTuning(&manager, tuning, 3, &auto_result);
+
+  std::printf("\n%-34s | %-34s | %s\n", "Greedy added", "AutoIndex added",
+              "cost reduction (probe query)");
+  PrintRule();
+  // AutoIndex additions with measured per-index reduction.
+  std::vector<IndexDef> auto_added;
+  for (const BuiltIndex* index : auto_db.index_manager().AllIndexes()) {
+    bool is_default = false;
+    for (const IndexDef& d : TpccWorkload::DefaultIndexes()) {
+      if (d == index->def()) is_default = true;
+    }
+    if (!is_default) auto_added.push_back(index->def());
+  }
+  const size_t rows = std::max(greedy.to_add.size(), auto_added.size());
+  for (size_t i = 0; i < rows; ++i) {
+    const std::string left =
+        i < greedy.to_add.size() ? greedy.to_add[i].DisplayName() : "";
+    std::string right, reduction;
+    if (i < auto_added.size()) {
+      right = auto_added[i].DisplayName();
+      const std::string probe = ProbeFor(auto_added[i], config);
+      reduction = StrFormat("%.1f%%",
+                            CostReductionPercent(&auto_db, auto_added[i],
+                                                 probe));
+    }
+    std::printf("%-34s | %-34s | %s\n", left.c_str(), right.c_str(),
+                reduction.c_str());
+  }
+  std::printf("\nGreedy added %zu indexes; AutoIndex added %zu indexes\n",
+              greedy.to_add.size(), auto_added.size());
+  std::printf("paper shape: AutoIndex keeps extra low-individual-benefit "
+              "indexes that pay off jointly\n");
+  return 0;
+}

@@ -1,0 +1,197 @@
+// An interactive shell over the engine + AutoIndex: type SQL, see rows and
+// per-query cost; meta-commands drive the index manager.
+//
+//   $ ./build/examples/autoindex_shell
+//   autoindex> CREATE TABLE is not SQL here — tables come from \demo
+//   autoindex> \demo            (loads a small demo table)
+//   autoindex> SELECT * FROM orders WHERE customer_id = 42
+//   autoindex> \diagnose
+//   autoindex> \tune
+//   autoindex> \indexes
+//   autoindex> \quit
+
+#include <cctype>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "check/validator.h"
+#include "core/manager.h"
+#include "engine/explain.h"
+#include "util/string_util.h"
+#include "workload/workload.h"
+
+using namespace autoindex;  // NOLINT — example brevity
+
+namespace {
+
+void LoadDemo(Database* db) {
+  if (db->catalog().GetTable("orders") != nullptr) {
+    std::printf("demo already loaded\n");
+    return;
+  }
+  db->CreateTable("orders", Schema({{"order_id", ValueType::kInt},
+                                    {"customer_id", ValueType::kInt},
+                                    {"status", ValueType::kInt},
+                                    {"amount", ValueType::kDouble}}));
+  Random rng(42);
+  std::vector<Row> rows;
+  for (int i = 0; i < 50000; ++i) {
+    rows.push_back({Value(int64_t(i)),
+                    Value(int64_t(rng.Uniform(5000))),
+                    Value(int64_t(rng.Uniform(7))),
+                    Value(rng.NextDouble() * 500.0)});
+  }
+  db->BulkInsert("orders", std::move(rows)).ok();
+  db->Analyze();
+  std::printf("loaded table orders (50000 rows)\n");
+}
+
+void PrintRows(const ExecResult& result, size_t cap = 20) {
+  size_t shown = 0;
+  for (const Row& row : result.rows) {
+    if (shown++ >= cap) {
+      std::printf("... (%zu more rows)\n", result.rows.size() - cap);
+      break;
+    }
+    std::string line = "  ";
+    for (const Value& v : row) line += v.ToString() + "\t";
+    std::printf("%s\n", line.c_str());
+  }
+}
+
+void PrintIndexes(const Database& db) {
+  if (db.index_manager().AllIndexes().empty()) {
+    std::printf("(no indexes)\n");
+    return;
+  }
+  for (const BuiltIndex* index : db.index_manager().AllIndexes()) {
+    std::printf("  %-40s %8.2f MiB  entries=%zu height=%zu uses=%zu\n",
+                index->def().DisplayName().c_str(),
+                index->SizeBytes() / 1048576.0, index->num_entries(),
+                index->height(), index->uses());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  AutoIndexConfig config;
+  config.mcts.iterations = 200;
+  AutoIndexManager manager(&db, config);
+
+  std::printf("AutoIndex shell — \\demo \\tune \\diagnose \\indexes "
+              "\\templates \\explain [analyze] <sql> \\budget <MiB> "
+              "\\check [on|off] \\quit\n");
+  std::string line;
+  while (true) {
+    std::printf("autoindex> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    const std::string input(Trim(line));
+    if (input.empty()) continue;
+
+    if (input[0] == '\\') {
+      std::istringstream iss(input.substr(1));
+      std::string cmd;
+      iss >> cmd;
+      if (cmd == "quit" || cmd == "q") break;
+      if (cmd == "demo") {
+        LoadDemo(&db);
+      } else if (cmd == "indexes") {
+        PrintIndexes(db);
+      } else if (cmd == "templates") {
+        for (const QueryTemplate* t :
+             manager.templates().TemplatesByFrequency()) {
+          std::printf("  %8.1f  %s\n", t->frequency,
+                      t->fingerprint.c_str());
+        }
+      } else if (cmd == "budget") {
+        double mib = 0;
+        if (iss >> mib) {
+          manager.set_storage_budget(
+              static_cast<size_t>(mib * 1048576.0));
+          std::printf("storage budget set to %.1f MiB\n", mib);
+        } else {
+          std::printf("usage: \\budget <MiB>\n");
+        }
+      } else if (cmd == "check") {
+        // "\check" validates every structure now; "\check on" keeps doing
+        // it after each mutation batch, "\check off" stops.
+        std::string mode;
+        iss >> mode;
+        if (mode == "on") {
+          InstallDebugChecks(&db);
+          std::printf("debug checks on: structures validated after every "
+                      "mutation batch\n");
+        } else if (mode == "off") {
+          InstallDebugChecks(&db, /*install=*/false);
+          std::printf("debug checks off\n");
+        } else if (mode.empty()) {
+          const CheckReport report = CheckAll(db);
+          std::printf("%s\n", report.ToString().c_str());
+        } else {
+          std::printf("usage: \\check [on|off]\n");
+        }
+      } else if (cmd == "diagnose") {
+        DiagnosisReport report = manager.Diagnose();
+        std::printf("built=%zu unbuilt-beneficial=%zu rarely-used=%zu "
+                    "negative=%zu -> problem ratio %.2f, %s\n",
+                    report.built_indexes,
+                    report.unbuilt_beneficial.size(),
+                    report.rarely_used.size(),
+                    report.negative_benefit.size(), report.problem_ratio,
+                    report.should_tune ? "TUNE" : "healthy");
+      } else if (cmd == "explain") {
+        std::string rest;
+        std::getline(iss, rest);
+        std::string sql(Trim(rest));
+        // "\explain analyze <sql>" executes and shows measured counters.
+        bool analyze = false;
+        if (sql.size() >= 7) {
+          std::string head = sql.substr(0, 7);
+          for (char& c : head) c = static_cast<char>(std::tolower(c));
+          if (head == "analyze") {
+            analyze = true;
+            sql = std::string(Trim(sql.substr(7)));
+          }
+        }
+        auto plan = analyze ? ExplainAnalyzeSql(db, sql) : ExplainSql(db, sql);
+        if (plan.ok()) {
+          std::printf("%s", plan->c_str());
+        } else {
+          std::printf("error: %s\n", plan.status().ToString().c_str());
+        }
+      } else if (cmd == "tune") {
+        TuningResult r = manager.RunManagementRound();
+        std::printf("round done in %.1f ms: +%zu / -%zu indexes "
+                    "(est. benefit %.1f)\n",
+                    r.elapsed_ms, r.added.size(), r.removed.size(),
+                    r.est_benefit);
+        for (const IndexDef& d : r.added) {
+          std::printf("  + %s\n", d.DisplayName().c_str());
+        }
+        for (const IndexDef& d : r.removed) {
+          std::printf("  - %s\n", d.DisplayName().c_str());
+        }
+      } else {
+        std::printf("unknown command \\%s\n", cmd.c_str());
+      }
+      continue;
+    }
+
+    StatusOr<ExecResult> result = manager.ExecuteAndObserve(input);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintRows(*result);
+    const CostBreakdown cost = result->stats.ToCost(db.params());
+    std::printf("(%zu rows, cost %.2f%s)\n", result->rows.size(),
+                cost.Total(),
+                result->stats.used_index ? ", via index" : "");
+  }
+  return 0;
+}

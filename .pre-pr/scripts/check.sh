@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Correctness gate for AutoIndex: lint, a hardened (-Werror) build, and
+# the tier-1 suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   skip the sanitizer build/run (lint + plain -Werror build only)
+#
+# Exits non-zero on the first failing stage.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+step "lint (scripts/lint.py)"
+python3 scripts/lint.py src
+
+step "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  # Library sources only; tests/benches inherit the same headers anyway.
+  find src -name '*.cc' | xargs clang-tidy -p build-tidy --quiet
+else
+  echo "clang-tidy not installed; skipping (lint.py rules still enforced)"
+fi
+
+step "hardened build (-Werror)"
+cmake -B build-werror -S . -DAUTOINDEX_WERROR=ON >/dev/null
+cmake --build build-werror -j "${JOBS}"
+
+step "tier-1 tests (plain build)"
+ctest --test-dir build-werror -L tier1 --output-on-failure
+
+step "bench smoke (micro benchmarks, short deterministic mode)"
+ctest --test-dir build-werror -L bench-smoke --output-on-failure
+
+if [[ "${FAST}" == "1" ]]; then
+  step "OK (fast mode: sanitizer stages skipped)"
+  exit 0
+fi
+
+step "sanitizer build (ASan + UBSan, -Werror)"
+cmake -B build-asan -S . \
+  -DAUTOINDEX_SANITIZE=address,undefined -DAUTOINDEX_WERROR=ON >/dev/null
+cmake --build build-asan -j "${JOBS}"
+
+step "tier-1 tests under ASan + UBSan"
+ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+  ctest --test-dir build-asan -L tier1 --output-on-failure
+
+step "fuzz + property tests under ASan + UBSan"
+ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+  ctest --test-dir build-asan -L 'property|fuzz' --output-on-failure
+
+step "OK"

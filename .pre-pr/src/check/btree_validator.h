@@ -1,0 +1,18 @@
+#pragma once
+
+#include "check/validator.h"
+
+namespace autoindex {
+
+// Validates every B+Tree of every built index: key ordering within and
+// across nodes, child/separator key-range containment, uniform leaf depth,
+// leaf-chain connectivity, capacity bounds, and reported
+// height/page/tuple stats matching a fresh walk (the deep walk itself
+// lives in BTree::ValidateStructure, which can see node internals).
+class BTreeValidator : public Validator {
+ public:
+  const char* name() const override { return "btree"; }
+  void Validate(const CheckContext& ctx, CheckReport* report) const override;
+};
+
+}  // namespace autoindex

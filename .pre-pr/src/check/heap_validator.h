@@ -1,0 +1,18 @@
+#pragma once
+
+#include "check/validator.h"
+
+namespace autoindex {
+
+// Validates every heap table: the live-row counter matches a fresh scan,
+// every live slot resolves to a row of the schema's arity, and the page
+// accounting (RowsPerPage / NumPages / PageOfRow) is internally
+// consistent — the cost model prices scans off these numbers, so drift
+// here silently skews every estimate.
+class HeapTableValidator : public Validator {
+ public:
+  const char* name() const override { return "heap"; }
+  void Validate(const CheckContext& ctx, CheckReport* report) const override;
+};
+
+}  // namespace autoindex

@@ -1,0 +1,17 @@
+#include "check/mcts_validator.h"
+
+#include "core/mcts.h"
+
+namespace autoindex {
+
+void MctsPolicyTreeValidator::Validate(const CheckContext& ctx,
+                                       CheckReport* report) const {
+  if (ctx.mcts == nullptr) return;
+  report->NoteStructureChecked();
+  const Status s = ctx.mcts->ValidateTree();
+  if (!s.ok()) {
+    report->AddIssue(name(), s.message());
+  }
+}
+
+}  // namespace autoindex

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "check/validator.h"
+
+namespace autoindex {
+
+// Validates the MCTS selector's persistent policy tree: parent/child link
+// symmetry, visit counts monotone down the tree (a node's visits >= the
+// sum of its children's), benefit values inside [0, 1] and monotone up the
+// tree, and the size counter matching a fresh walk (the walk itself lives
+// in MctsIndexSelector::ValidateTree, which can see node internals).
+// No-ops when the context carries no selector.
+class MctsPolicyTreeValidator : public Validator {
+ public:
+  const char* name() const override { return "mcts"; }
+  void Validate(const CheckContext& ctx, CheckReport* report) const override;
+};
+
+}  // namespace autoindex

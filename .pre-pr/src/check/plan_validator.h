@@ -1,0 +1,18 @@
+#pragma once
+
+#include "check/validator.h"
+
+namespace autoindex {
+
+// Validates the last executed physical plan snapshot: operator names and
+// child arity, schema (tuple width) propagation, non-negative counters,
+// and — the load-bearing invariant — that the per-operator counters sum
+// exactly to the statement-level ExecStats the cost model priced. If the
+// two accountings drift, every benefit estimate silently degrades.
+class PhysicalPlanValidator : public Validator {
+ public:
+  const char* name() const override { return "physical_plan"; }
+  void Validate(const CheckContext& ctx, CheckReport* report) const override;
+};
+
+}  // namespace autoindex

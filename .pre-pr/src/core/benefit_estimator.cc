@@ -1,0 +1,126 @@
+#include "core/benefit_estimator.h"
+
+#include <functional>
+
+namespace autoindex {
+
+WorkloadModel WorkloadModel::FromTemplates(
+    const std::vector<const QueryTemplate*>& templates) {
+  WorkloadModel model;
+  model.entries.reserve(templates.size());
+  for (const QueryTemplate* t : templates) {
+    if (t->frequency <= 0.0) continue;
+    model.entries.push_back({t, t->frequency});
+  }
+  return model;
+}
+
+uint64_t HashConfig(const IndexConfig& config) {
+  // XOR of per-def FNV hashes: order-independent.
+  uint64_t h = 0x12345678;
+  for (const IndexDef& def : config.defs()) {
+    const std::string key = def.Key();
+    uint64_t d = 14695981039346656037ULL;
+    for (unsigned char c : key) {
+      d ^= c;
+      d *= 1099511628211ULL;
+    }
+    h ^= d;
+  }
+  return h;
+}
+
+double IndexBenefitEstimator::CombineFeatures(
+    const CostBreakdown& breakdown) const {
+  if (model_.trained()) {
+    return model_.Predict(breakdown.Features());
+  }
+  return breakdown.Total();
+}
+
+double IndexBenefitEstimator::EstimateStatementCost(
+    const Statement& stmt, const IndexConfig& config) const {
+  return CombineFeatures(db_->WhatIfCost(stmt, config));
+}
+
+double IndexBenefitEstimator::EstimateWorkloadCost(
+    const WorkloadModel& workload, const IndexConfig& config) const {
+  const uint64_t config_hash = HashConfig(config);
+  double total = 0.0;
+  for (const WorkloadModel::Entry& entry : workload.entries) {
+    const uint64_t key = entry.tmpl->id * 0x9e3779b97f4a7c15ULL ^ config_hash;
+    auto it = cache_.find(key);
+    double cost;
+    if (it != cache_.end()) {
+      cost = it->second;
+    } else {
+      cost = EstimateStatementCost(entry.tmpl->representative, config);
+      cache_.emplace(key, cost);
+    }
+    total += entry.weight * cost;
+  }
+  return total;
+}
+
+double IndexBenefitEstimator::EstimateBenefit(const WorkloadModel& workload,
+                                              const IndexConfig& from,
+                                              const IndexConfig& to) const {
+  return EstimateWorkloadCost(workload, from) -
+         EstimateWorkloadCost(workload, to);
+}
+
+void IndexBenefitEstimator::AddObservation(const std::vector<double>& features,
+                                           double measured_cost) {
+  features_.push_back(features);
+  targets_.push_back(measured_cost);
+}
+
+double IndexBenefitEstimator::TrainModel(size_t min_observations) {
+  if (features_.size() < min_observations) return -1.0;
+  TrainConfig config;
+  config.epochs = 200;
+  const double mse = model_.Train(features_, targets_, config);
+  cache_.clear();  // model change invalidates memoized costs
+  return mse;
+}
+
+double IndexBenefitEstimator::CrossValidateRmse() const {
+  return SigmoidRegression::CrossValidate(features_, targets_, 9);
+}
+
+namespace {
+
+std::string PathKey(const std::string& table, const std::string& index) {
+  return table + '\x01' + index;
+}
+
+}  // namespace
+
+void IndexBenefitEstimator::RecordExecutionFeedback(
+    const std::vector<AccessPathFeedback>& batch) {
+  for (const AccessPathFeedback& fb : batch) {
+    PathFeedback& agg = path_feedback_[PathKey(fb.table, fb.index)];
+    agg.est_cost_sum += fb.est_cost;
+    agg.actual_cost_sum += fb.actual_cost;
+    agg.est_rows_sum += fb.est_rows;
+    agg.actual_rows_sum += fb.actual_rows;
+    ++agg.count;
+    ++num_feedback_pairs_;
+  }
+}
+
+bool IndexBenefitEstimator::HasFeedbackFor(const std::string& table,
+                                           const std::string& index) const {
+  return path_feedback_.find(PathKey(table, index)) != path_feedback_.end();
+}
+
+double IndexBenefitEstimator::FeedbackCostRatio(
+    const std::string& table, const std::string& index) const {
+  auto it = path_feedback_.find(PathKey(table, index));
+  if (it == path_feedback_.end()) return 1.0;
+  const PathFeedback& agg = it->second;
+  if (agg.est_cost_sum <= 0.0) return 1.0;
+  return agg.actual_cost_sum / agg.est_cost_sum;
+}
+
+}  // namespace autoindex

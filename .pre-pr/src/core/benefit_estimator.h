@@ -1,0 +1,112 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/query_template.h"
+#include "engine/database.h"
+#include "engine/what_if.h"
+#include "ml/regression.h"
+
+namespace autoindex {
+
+// The workload model index benefits are computed against: the templates
+// with their (decayed) frequencies. Cost of the workload under a config =
+// sum over templates of frequency * estimated statement cost.
+struct WorkloadModel {
+  struct Entry {
+    const QueryTemplate* tmpl;
+    double weight;
+  };
+  std::vector<Entry> entries;
+
+  static WorkloadModel FromTemplates(
+      const std::vector<const QueryTemplate*>& templates);
+};
+
+// The paper's index benefit estimator (Sec. V): computes the cost features
+// C_data / C_io / C_cpu per statement via the what-if model and combines
+// them either with classical static weights (untrained) or with the
+// learned one-layer sigmoid regression (trained on historical
+// (features, measured cost) pairs).
+class IndexBenefitEstimator {
+ public:
+  explicit IndexBenefitEstimator(Database* db) : db_(db) {}
+
+  IndexBenefitEstimator(const IndexBenefitEstimator&) = delete;
+  IndexBenefitEstimator& operator=(const IndexBenefitEstimator&) = delete;
+
+  // Estimated cost of one statement under a config (model-combined).
+  double EstimateStatementCost(const Statement& stmt,
+                               const IndexConfig& config) const;
+
+  // Estimated total workload cost. Memoized per (template, config) — MCTS
+  // evaluates thousands of configs over the same templates.
+  double EstimateWorkloadCost(const WorkloadModel& workload,
+                              const IndexConfig& config) const;
+
+  // Benefit of moving from `from` to `to`: positive = `to` is cheaper.
+  double EstimateBenefit(const WorkloadModel& workload,
+                         const IndexConfig& from, const IndexConfig& to) const;
+
+  // --- learned model (Sec. V-B) ---
+  // Records one historical observation: the cost features of a statement
+  // (estimated under the then-current config) and its measured cost.
+  void AddObservation(const std::vector<double>& features,
+                      double measured_cost);
+  // Trains when enough observations exist; returns final training MSE or
+  // a negative value when skipped.
+  double TrainModel(size_t min_observations = 64);
+  bool model_trained() const { return model_.trained(); }
+  size_t num_observations() const { return features_.size(); }
+  // 9-fold cross-validated RMSE over the collected history.
+  double CrossValidateRmse() const;
+
+  // Flushes the (template, config) memo; required after Analyze() or any
+  // table mutation that changes statistics.
+  void InvalidateCache() const { cache_.clear(); }
+
+  // --- execution feedback (the EXPLAIN ANALYZE loop) ---
+  // Records the per-access-path (estimated, observed) pairs the executor
+  // collected for one statement. Aggregated per (table, index) so the
+  // planner's systematic estimation error on each path is measurable.
+  // Kept separate from AddObservation: feedback calibrates access paths,
+  // the observation history trains the statement-level cost model.
+  void RecordExecutionFeedback(const std::vector<AccessPathFeedback>& batch);
+  // Total pairs ever recorded.
+  size_t num_feedback_pairs() const { return num_feedback_pairs_; }
+  // Whether at least one pair was recorded for the path. `index` is the
+  // display name; empty means the sequential-scan path.
+  bool HasFeedbackFor(const std::string& table,
+                      const std::string& index) const;
+  // Mean observed/estimated cost ratio of the path: >1 means the planner
+  // underestimates it. 1.0 when unseen or the estimate is degenerate.
+  double FeedbackCostRatio(const std::string& table,
+                           const std::string& index) const;
+
+ private:
+  struct PathFeedback {
+    double est_cost_sum = 0.0;
+    double actual_cost_sum = 0.0;
+    double est_rows_sum = 0.0;
+    double actual_rows_sum = 0.0;
+    size_t count = 0;
+  };
+
+  double CombineFeatures(const CostBreakdown& breakdown) const;
+
+  Database* db_;
+  SigmoidRegression model_;
+  std::vector<std::vector<double>> features_;
+  std::vector<double> targets_;
+  // Memo: (template id, config hash) -> cost.
+  mutable std::unordered_map<uint64_t, double> cache_;
+  // Per-access-path aggregates, keyed "<table>\x01<index display name>".
+  std::unordered_map<std::string, PathFeedback> path_feedback_;
+  size_t num_feedback_pairs_ = 0;
+};
+
+// Stable hash of a configuration (order-independent).
+uint64_t HashConfig(const IndexConfig& config);
+
+}  // namespace autoindex

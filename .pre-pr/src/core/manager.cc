@@ -1,0 +1,173 @@
+#include "core/manager.h"
+
+#include <chrono>
+
+namespace autoindex {
+
+AutoIndexManager::AutoIndexManager(Database* db, AutoIndexConfig config)
+    : db_(db), config_(config), sample_rng_(0xA11CE) {
+  templates_ = std::make_unique<TemplateStore>(config_.template_capacity);
+  estimator_ = std::make_unique<IndexBenefitEstimator>(db_);
+  generator_ =
+      std::make_unique<CandidateGenerator>(db_, config_.candidate_gen);
+  MctsConfig mcts = config_.mcts;
+  if (config_.storage_budget_bytes != 0) {
+    mcts.storage_budget_bytes = config_.storage_budget_bytes;
+  }
+  selector_ = std::make_unique<MctsIndexSelector>(db_, estimator_.get(), mcts);
+  diagnoser_ = std::make_unique<IndexDiagnoser>(db_, estimator_.get(),
+                                                config_.diagnosis);
+  if (config_.learn_cost_model) {
+    // EXPLAIN ANALYZE feedback loop: every executed statement streams its
+    // per-access-path (estimated, observed) pairs into the estimator.
+    db_->set_execution_feedback_hook(
+        [est = estimator_.get()](const std::vector<AccessPathFeedback>& fb) {
+          est->RecordExecutionFeedback(fb);
+        });
+  }
+}
+
+void AutoIndexManager::set_storage_budget(size_t bytes) {
+  config_.storage_budget_bytes = bytes;
+  selector_->set_storage_budget(bytes);
+}
+
+StatusOr<ExecResult> AutoIndexManager::ExecuteAndObserve(
+    const std::string& sql) {
+  templates_->Observe(sql);
+  StatusOr<ExecResult> result = db_->Execute(sql);
+  if (result.ok() && config_.learn_cost_model &&
+      sample_rng_.Bernoulli(config_.observation_sample_rate)) {
+    // Historical training pair: estimated cost features under the current
+    // built configuration vs. the measured execution cost.
+    StatusOr<Statement> stmt = ParseSql(sql);
+    if (stmt.ok()) {
+      const CostBreakdown est = db_->WhatIfCost(*stmt, db_->CurrentConfig());
+      const CostBreakdown measured = result->stats.ToCost(db_->params());
+      estimator_->AddObservation(est.Features(), measured.Total());
+    }
+  }
+  return result;
+}
+
+void AutoIndexManager::ObserveOnly(const std::string& sql) {
+  templates_->Observe(sql);
+}
+
+WorkloadModel AutoIndexManager::CurrentWorkload() const {
+  return WorkloadModel::FromTemplates(templates_->TemplatesByFrequency());
+}
+
+DiagnosisReport AutoIndexManager::Diagnose() {
+  const WorkloadModel workload = CurrentWorkload();
+  const std::vector<IndexDef> candidates = generator_->Generate(
+      templates_->TemplatesByFrequency(), db_->CurrentConfig());
+  return diagnoser_->Diagnose(workload, candidates);
+}
+
+TuningResult AutoIndexManager::RunManagementRound(bool apply) {
+  const auto start = std::chrono::steady_clock::now();
+  TuningResult result;
+
+  // Drift handling (Sec. IV-C): decay template frequencies when the match
+  // rate collapsed since the last round.
+  if (templates_->MatchRate() < config_.drift_match_threshold &&
+      rounds_run_ > 0) {
+    templates_->Decay(config_.decay_factor);
+  }
+  templates_->ResetMatchStats();
+  templates_->AdvanceRound();
+
+  // Refresh statistics & train the learned estimator when enough history
+  // has accumulated.
+  db_->Analyze();
+  estimator_->InvalidateCache();
+  if (config_.learn_cost_model && !estimator_->model_trained()) {
+    estimator_->TrainModel(config_.min_training_observations);
+  }
+
+  const std::vector<const QueryTemplate*> templates =
+      templates_->TemplatesByFrequency();
+  result.templates_considered = templates.size();
+  const WorkloadModel workload = WorkloadModel::FromTemplates(templates);
+  const IndexConfig existing = db_->CurrentConfig();
+
+  const auto gen_start = std::chrono::steady_clock::now();
+  const std::vector<IndexDef> candidates =
+      generator_->Generate(templates, existing);
+  const auto gen_end = std::chrono::steady_clock::now();
+  result.candidate_gen_ms =
+      std::chrono::duration<double, std::milli>(gen_end - gen_start).count();
+  result.candidates_generated = candidates.size();
+
+  MctsResult mcts = selector_->Run(existing, candidates, workload);
+  result.search_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - gen_end)
+                         .count();
+  result.est_base_cost = mcts.base_cost;
+  result.est_new_cost = mcts.best_cost;
+  result.est_benefit = mcts.best_benefit;
+  result.added = mcts.to_add;
+  result.removed = mcts.to_remove;
+
+  // Retirement pass: redundant/dead indexes are cost-neutral to the MCTS
+  // objective, so they are cleaned up by diagnosis instead (Fig. 1): an
+  // index the planner never used whose removal does not raise the
+  // estimated workload cost is dropped.
+  if (config_.drop_unused_indexes) {
+    IndexConfig probe = mcts.best_config;
+    double current_cost =
+        estimator_->EstimateWorkloadCost(workload, probe);
+    for (const BuiltIndex* index : db_->index_manager().AllIndexes()) {
+      if (index->uses() >= config_.unused_drop_threshold) continue;
+      if (!probe.Contains(index->def())) continue;  // already removed
+      bool planned_add = false;
+      for (const IndexDef& def : mcts.to_add) {
+        if (def == index->def()) planned_add = true;
+      }
+      if (planned_add) continue;
+      IndexConfig without = probe;
+      without.Remove(index->def());
+      const double cost_without =
+          estimator_->EstimateWorkloadCost(workload, without);
+      if (cost_without <= current_cost * (1.0 + 1e-9)) {
+        probe = std::move(without);
+        current_cost = cost_without;
+        result.removed.push_back(index->def());
+      }
+    }
+    mcts.best_config = std::move(probe);
+  }
+
+  if (apply) {
+    // Keep the reported deltas honest: if the estate drifted under us
+    // (say, a manual DROP between search and apply), the failed DDL must
+    // not show up in added/removed as if it happened.
+    std::vector<IndexDef> dropped;
+    for (const IndexDef& def : result.removed) {
+      const Status drop_status = db_->DropIndex(def.Key());
+      if (drop_status.ok()) dropped.push_back(def);
+    }
+    result.removed = std::move(dropped);
+    std::vector<IndexDef> built;
+    for (const IndexDef& def : result.added) {
+      const Status create_status = db_->CreateIndex(def);
+      if (create_status.ok()) built.push_back(def);
+    }
+    result.added = std::move(built);
+    // Usage counters are per-round signals; reset after inspection.
+    for (BuiltIndex* index : db_->index_manager().AllIndexes()) {
+      index->ResetUses();
+    }
+    result.applied = true;
+    estimator_->InvalidateCache();
+  }
+
+  ++rounds_run_;
+  const auto end = std::chrono::steady_clock::now();
+  result.elapsed_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  return result;
+}
+
+}  // namespace autoindex

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/benefit_estimator.h"
+#include "engine/database.h"
+#include "engine/what_if.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace autoindex {
+
+struct MctsConfig {
+  // Search iterations per management round.
+  size_t iterations = 200;
+  // Exploration constant gamma in U(v) = B(v) + gamma*sqrt(ln F(v0)/F(v))
+  // (benefits are normalized to fractions of the base workload cost, so
+  // gamma ~ 0.3-2 is a sensible range).
+  double gamma = 0.7;
+  // K random rollouts when evaluating a node's benefit (Sec. IV-B step 2).
+  size_t rollouts = 5;
+  // Storage budget for the whole index set; 0 = unlimited.
+  size_t storage_budget_bytes = 0;
+  // Cap on children generated per expansion (actions beyond the cap are
+  // sampled uniformly).
+  size_t max_actions_per_node = 48;
+  // Stop early when this many consecutive iterations fail to improve the
+  // best benefit (0 disables early stop).
+  size_t patience = 64;
+  uint64_t seed = 7;
+};
+
+// One edge of the policy tree: add a candidate index or remove an index
+// from the current node's set.
+struct IndexAction {
+  enum Kind { kAdd, kRemove } kind = kAdd;
+  IndexDef def;
+};
+
+struct MctsResult {
+  IndexConfig best_config;
+  double base_cost = 0.0;    // estimated workload cost under the root set
+  double best_cost = 0.0;    // estimated cost under best_config
+  double best_benefit = 0.0; // base_cost - best_cost
+  std::vector<IndexDef> to_add;     // best_config minus existing
+  std::vector<IndexDef> to_remove;  // existing minus best_config
+  size_t iterations_run = 0;
+  size_t nodes_expanded = 0;
+  size_t tree_size = 0;
+};
+
+// Monte Carlo Tree Search over index configurations (Sec. IV-B). The tree
+// is persistent: the root represents the currently-built index set, each
+// node an index combination reachable by add/remove actions. Across
+// management rounds, Run() rebases the root onto the node matching the new
+// existing set when possible, preserving explored statistics — this is the
+// paper's incremental index update.
+class MctsIndexSelector {
+ public:
+  MctsIndexSelector(Database* db, IndexBenefitEstimator* estimator,
+                    MctsConfig config = {});
+  ~MctsIndexSelector();
+
+  MctsIndexSelector(const MctsIndexSelector&) = delete;
+  MctsIndexSelector& operator=(const MctsIndexSelector&) = delete;
+
+  // Searches for the best configuration reachable from `existing` by
+  // adding candidates / removing existing indexes, under the storage
+  // budget and the estimator's workload cost.
+  MctsResult Run(const IndexConfig& existing,
+                 const std::vector<IndexDef>& candidates,
+                 const WorkloadModel& workload);
+
+  // Drops the persistent tree (tests / hard workload resets).
+  void Reset();
+  size_t tree_size() const { return tree_size_; }
+
+  // Deep structural validation of the persistent policy tree: parent/child
+  // links symmetric, visit count of every node >= sum of its children's
+  // (backprop touches every ancestor), benefits within [0, 1] and
+  // monotone up the tree (max-backprop), and tree_size() matching a fresh
+  // walk. Ok() when healthy; Internal naming the first violation
+  // otherwise. An empty tree (before the first Run) is healthy.
+  Status ValidateTree() const;
+
+  // --- Test-only corruption hooks (see src/check/); never call outside
+  // tests. Each returns false when the tree is too small to corrupt.
+  bool TestOnlyCorruptVisitCount();  // child visits exceed its parent's
+  bool TestOnlyCorruptBenefit();     // benefit pushed out of [0, 1]
+
+  const MctsConfig& config() const { return config_; }
+  void set_storage_budget(size_t bytes) {
+    config_.storage_budget_bytes = bytes;
+  }
+
+ private:
+  struct Node;
+
+  // Number of nodes in the subtree rooted at `node` (0 for null).
+  static size_t CountNodes(const Node* node);
+
+  // Tries to find a depth<=2 descendant of the root whose config equals
+  // `target`; promotes it to root (incremental rebase). Returns true on
+  // success.
+  bool RebaseRoot(const IndexConfig& target);
+
+  void ExpandNode(Node* node, const std::vector<IndexDef>& candidates,
+                  const IndexConfig& existing);
+  // Evaluates a node: own config + K random rollouts; returns the best
+  // normalized benefit found and records the global best config.
+  double EvaluateNode(Node* node, const std::vector<IndexDef>& candidates,
+                      const WorkloadModel& workload);
+  double ConfigCost(const IndexConfig& config, const WorkloadModel& workload);
+  bool WithinBudget(const IndexConfig& config) const;
+  void ConsiderBest(const IndexConfig& config, double cost);
+
+  Database* db_;
+  IndexBenefitEstimator* estimator_;
+  MctsConfig config_;
+  Random rng_;
+
+  std::unique_ptr<Node> root_;
+  size_t tree_size_ = 0;
+  uint64_t generation_ = 0;
+
+  // Per-Run scratch.
+  double base_cost_ = 0.0;
+  double best_cost_ = 0.0;
+  IndexConfig best_config_;
+  const WorkloadModel* workload_ = nullptr;
+};
+
+}  // namespace autoindex

@@ -1,0 +1,119 @@
+#include "core/query_template.h"
+
+#include <algorithm>
+
+#include "sql/fingerprint.h"
+#include "sql/parser.h"
+
+namespace autoindex {
+
+TemplateStore::TemplateStore(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+QueryTemplate* TemplateStore::Observe(const std::string& sql) {
+  const std::string fp = FingerprintSql(sql);
+  ++total_observed_;
+  ++observed_since_reset_;
+  auto it = templates_.find(fp);
+  if (it != templates_.end()) {
+    ++matched_since_reset_;
+    QueryTemplate* t = it->second.get();
+    t->frequency += 1.0;
+    ++t->total_matches;
+    t->last_seen_round = round_;
+    return t;
+  }
+  StatusOr<Statement> stmt = ParseSql(sql);
+  if (!stmt.ok()) return nullptr;
+  if (templates_.size() >= capacity_) EvictLowestFrequency();
+  auto tmpl = std::make_unique<QueryTemplate>();
+  tmpl->id = next_id_++;
+  tmpl->fingerprint = fp;
+  tmpl->representative = std::move(*stmt);
+  tmpl->frequency = 1.0;
+  tmpl->total_matches = 1;
+  tmpl->last_seen_round = round_;
+  tmpl->is_write = tmpl->representative.IsWrite();
+  QueryTemplate* raw = tmpl.get();
+  templates_.emplace(fp, std::move(tmpl));
+  return raw;
+}
+
+QueryTemplate* TemplateStore::Observe(const Statement& stmt,
+                                      const std::string& sql) {
+  const std::string fp = FingerprintSql(sql);
+  ++total_observed_;
+  ++observed_since_reset_;
+  auto it = templates_.find(fp);
+  if (it != templates_.end()) {
+    ++matched_since_reset_;
+    QueryTemplate* t = it->second.get();
+    t->frequency += 1.0;
+    ++t->total_matches;
+    t->last_seen_round = round_;
+    return t;
+  }
+  if (templates_.size() >= capacity_) EvictLowestFrequency();
+  auto tmpl = std::make_unique<QueryTemplate>();
+  tmpl->id = next_id_++;
+  tmpl->fingerprint = fp;
+  tmpl->representative = stmt.Clone();
+  tmpl->frequency = 1.0;
+  tmpl->total_matches = 1;
+  tmpl->last_seen_round = round_;
+  tmpl->is_write = tmpl->representative.IsWrite();
+  QueryTemplate* raw = tmpl.get();
+  templates_.emplace(fp, std::move(tmpl));
+  return raw;
+}
+
+void TemplateStore::EvictLowestFrequency() {
+  if (templates_.empty()) return;
+  auto victim = templates_.begin();
+  for (auto it = templates_.begin(); it != templates_.end(); ++it) {
+    if (it->second->frequency < victim->second->frequency ||
+        (it->second->frequency == victim->second->frequency &&
+         it->second->last_seen_round < victim->second->last_seen_round)) {
+      victim = it;
+    }
+  }
+  templates_.erase(victim);
+}
+
+void TemplateStore::Decay(double factor, double min_frequency) {
+  for (auto it = templates_.begin(); it != templates_.end();) {
+    it->second->frequency *= factor;
+    if (it->second->frequency < min_frequency) {
+      it = templates_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double TemplateStore::MatchRate() const {
+  if (observed_since_reset_ == 0) return 1.0;
+  return static_cast<double>(matched_since_reset_) / observed_since_reset_;
+}
+
+void TemplateStore::ResetMatchStats() {
+  matched_since_reset_ = 0;
+  observed_since_reset_ = 0;
+}
+
+std::vector<const QueryTemplate*> TemplateStore::TemplatesByFrequency()
+    const {
+  std::vector<const QueryTemplate*> out;
+  out.reserve(templates_.size());
+  for (const auto& [_, t] : templates_) out.push_back(t.get());
+  std::sort(out.begin(), out.end(),
+            [](const QueryTemplate* a, const QueryTemplate* b) {
+              if (a->frequency != b->frequency) {
+                return a->frequency > b->frequency;
+              }
+              return a->id < b->id;
+            });
+  return out;
+}
+
+}  // namespace autoindex

@@ -1,0 +1,60 @@
+#include "engine/cost_model.h"
+
+#include <cmath>
+
+namespace autoindex {
+
+double IndexUpdateCpuCost(size_t num_entries, size_t height,
+                          size_t num_insert, const CostParams& params) {
+  const double log_n =
+      num_entries <= 1 ? 0.0
+                       : std::ceil(std::log2(static_cast<double>(num_entries)));
+  const double t_start =
+      (log_n + (static_cast<double>(height) + 1.0) * 50.0) *
+      params.cpu_operator_cost;
+  const double t_running =
+      static_cast<double>(num_insert) * params.cpu_index_tuple_cost;
+  return t_start + t_running;
+}
+
+double SeqIoCost(size_t pages, const CostParams& params) {
+  return static_cast<double>(pages) * params.seq_page_cost;
+}
+
+double RandomIoCost(size_t pages, const CostParams& params) {
+  return static_cast<double>(pages) * params.random_page_cost;
+}
+
+CostBreakdown ExecStats::ToCost(const CostParams& params) const {
+  CostBreakdown cost;
+  cost.data_io = SeqIoCost(heap_pages_read, params) +
+                 RandomIoCost(index_pages_read, params);
+  cost.data_cpu =
+      static_cast<double>(tuples_examined) * params.cpu_tuple_cost +
+      static_cast<double>(index_tuples_read) * params.cpu_index_tuple_cost;
+  if (sort_rows > 1) {
+    cost.data_cpu += static_cast<double>(sort_rows) *
+                     std::log2(static_cast<double>(sort_rows)) *
+                     params.cpu_operator_cost;
+  }
+  cost.maint_io = SeqIoCost(pages_written + index_pages_written, params);
+  cost.maint_cpu = maint_cpu_cost;
+  return cost;
+}
+
+ExecStats& ExecStats::operator+=(const ExecStats& o) {
+  heap_pages_read += o.heap_pages_read;
+  index_pages_read += o.index_pages_read;
+  tuples_examined += o.tuples_examined;
+  index_tuples_read += o.index_tuples_read;
+  rows_returned += o.rows_returned;
+  sort_rows += o.sort_rows;
+  pages_written += o.pages_written;
+  index_entries_written += o.index_entries_written;
+  index_pages_written += o.index_pages_written;
+  maint_cpu_cost += o.maint_cpu_cost;
+  used_index = used_index || o.used_index;
+  return *this;
+}
+
+}  // namespace autoindex

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace autoindex {
+
+// Engine cost hyper-parameters (Sec. V-A of the paper; defaults follow the
+// PostgreSQL/openGauss conventions the paper builds on).
+struct CostParams {
+  double seq_page_cost = 1.0;
+  double random_page_cost = 4.0;
+  double cpu_tuple_cost = 0.01;
+  double cpu_operator_cost = 0.0025;
+  double cpu_index_tuple_cost = 0.005;
+};
+
+// The paper's index-update CPU cost (Sec. V-A):
+//   t_start   = (ceil(log2 N) + (H+1)*50) * cpu_operator_cost
+//   t_running = N_insert * cpu_index_tuple_cost
+// N = index entries, H = tree height, N_insert = tuples inserted/updated.
+double IndexUpdateCpuCost(size_t num_entries, size_t height,
+                          size_t num_insert, const CostParams& params);
+
+// IO cost of touching `pages` pages sequentially / randomly.
+double SeqIoCost(size_t pages, const CostParams& params);
+double RandomIoCost(size_t pages, const CostParams& params);
+
+// Aggregated cost of one statement execution, split the way the paper's
+// estimator consumes it: data-processing cost C_data (read-side IO+CPU),
+// index-maintenance IO C_io and CPU C_cpu (write-side).
+struct CostBreakdown {
+  double data_io = 0.0;    // heap + index pages read
+  double data_cpu = 0.0;   // tuples examined, sort/agg work
+  double maint_io = 0.0;   // index pages dirtied by writes (C^io)
+  double maint_cpu = 0.0;  // index-update CPU (C^cpu)
+
+  double CData() const { return data_io + data_cpu; }
+  double Total() const { return data_io + data_cpu + maint_io + maint_cpu; }
+
+  // Feature vector {C_data, C_io, C_cpu} consumed by the learned estimator
+  // (Sec. V-B).
+  std::vector<double> Features() const {
+    return {CData(), maint_io, maint_cpu};
+  }
+
+  CostBreakdown& operator+=(const CostBreakdown& o) {
+    data_io += o.data_io;
+    data_cpu += o.data_cpu;
+    maint_io += o.maint_io;
+    maint_cpu += o.maint_cpu;
+    return *this;
+  }
+};
+
+// Raw execution counters produced by the executor; ToCost() prices them.
+struct ExecStats {
+  size_t heap_pages_read = 0;
+  size_t index_pages_read = 0;
+  size_t tuples_examined = 0;   // heap tuples materialized/filtered
+  size_t index_tuples_read = 0; // index entries touched by scans
+  size_t rows_returned = 0;
+  size_t sort_rows = 0;   // rows passed through sort/group operators
+  size_t pages_written = 0;       // heap pages dirtied
+  size_t index_entries_written = 0;
+  size_t index_pages_written = 0; // leaf writes + splits
+  double maint_cpu_cost = 0.0;    // accumulated via IndexUpdateCpuCost
+  bool used_index = false;
+
+  CostBreakdown ToCost(const CostParams& params) const;
+
+  ExecStats& operator+=(const ExecStats& o);
+};
+
+}  // namespace autoindex

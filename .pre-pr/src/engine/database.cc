@@ -1,0 +1,69 @@
+#include "engine/database.h"
+
+namespace autoindex {
+
+Database::Database(CostParams params) : params_(params) {
+  catalog_ = std::make_unique<Catalog>();
+  index_manager_ = std::make_unique<IndexManager>(catalog_.get());
+  stats_manager_ = std::make_unique<StatsManager>(catalog_.get());
+  executor_ = std::make_unique<Executor>(catalog_.get(), index_manager_.get(),
+                                         stats_manager_.get(), params_);
+  what_if_ = std::make_unique<WhatIfCostModel>(catalog_.get(),
+                                               stats_manager_.get(), params_);
+}
+
+StatusOr<HeapTable*> Database::CreateTable(const std::string& name,
+                                           Schema schema) {
+  return catalog_->CreateTable(name, std::move(schema));
+}
+
+Status Database::CreateIndex(const IndexDef& def) {
+  Status s = index_manager_->CreateIndex(def);
+  if (!s.ok()) return s;
+  return RunInvariantHook();
+}
+
+Status Database::DropIndex(const std::string& key_or_name) {
+  Status s = index_manager_->DropIndex(key_or_name);
+  if (!s.ok()) return s;
+  return RunInvariantHook();
+}
+
+StatusOr<ExecResult> Database::Execute(const std::string& sql) {
+  StatusOr<Statement> stmt = ParseSql(sql);
+  if (!stmt.ok()) return stmt.status();
+  return Execute(*stmt);
+}
+
+StatusOr<ExecResult> Database::Execute(const Statement& stmt) {
+  StatusOr<ExecResult> result = executor_->Execute(stmt);
+  // Debug-mode structural validation after every successful mutation.
+  if (result.ok() && stmt.IsWrite() && debug_checks_enabled()) {
+    Status s = RunInvariantHook();
+    if (!s.ok()) return s;
+  }
+  return result;
+}
+
+Status Database::BulkInsert(const std::string& table, std::vector<Row> rows) {
+  HeapTable* t = catalog_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("no such table: " + table);
+  for (Row& row : rows) {
+    StatusOr<RowId> rid = t->Insert(std::move(row));
+    if (!rid.ok()) return rid.status();
+    index_manager_->OnInsert(table, *rid, t->Get(*rid));
+  }
+  // One check for the whole batch — per-row validation would make bulk
+  // loads quadratic under debug checks.
+  return RunInvariantHook();
+}
+
+IndexConfig Database::CurrentConfig() const {
+  IndexConfig config;
+  for (const BuiltIndex* index : index_manager_->AllIndexes()) {
+    config.Add(index->def());
+  }
+  return config;
+}
+
+}  // namespace autoindex

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/what_if.h"
+#include "index/index_manager.h"
+#include "sql/parser.h"
+#include "stats/stats_manager.h"
+#include "storage/catalog.h"
+
+namespace autoindex {
+
+// The top-level database façade: catalog + indexes + statistics + executor
+// + what-if cost model. This is the substrate AutoIndex manages — the role
+// openGauss plays in the paper.
+class Database {
+ public:
+  explicit Database(CostParams params = CostParams());
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- DDL ---
+  StatusOr<HeapTable*> CreateTable(const std::string& name, Schema schema);
+  Status CreateIndex(const IndexDef& def);
+  Status DropIndex(const std::string& key_or_name);
+  bool HasIndex(const IndexDef& def) const {
+    return index_manager_->HasIndex(def);
+  }
+
+  // --- DML ---
+  // Parses and executes one SQL string.
+  StatusOr<ExecResult> Execute(const std::string& sql);
+  // Executes a pre-parsed statement (avoids re-parsing in tight loops).
+  StatusOr<ExecResult> Execute(const Statement& stmt);
+
+  // Bulk load rows without per-statement accounting (population fast path).
+  Status BulkInsert(const std::string& table, std::vector<Row> rows);
+
+  // Refreshes optimizer statistics (call after bulk loads).
+  void Analyze() { stats_manager_->AnalyzeAll(); }
+  void Analyze(const std::string& table) { stats_manager_->Analyze(table); }
+
+  // --- What-if ---
+  // Estimated cost of a statement under an arbitrary index configuration.
+  CostBreakdown WhatIfCost(const Statement& stmt,
+                           const IndexConfig& config) const {
+    return what_if_->EstimateStatement(stmt, config);
+  }
+
+  // The configuration matching the currently built indexes.
+  IndexConfig CurrentConfig() const;
+
+  // --- Correctness tooling (src/check/) ---
+  // Debug-mode invariant hook: when installed, it runs after every
+  // successful mutating statement, after BulkInsert, and after index DDL;
+  // a failure is surfaced as that operation's status. Installed by
+  // InstallDebugChecks() in src/check/ (the hook is a callback so the
+  // engine never depends on the check module); null disables.
+  using InvariantHook = std::function<Status(const Database&)>;
+  void set_invariant_hook(InvariantHook hook) {
+    invariant_hook_ = std::move(hook);
+  }
+  bool debug_checks_enabled() const { return invariant_hook_ != nullptr; }
+  // Runs the hook now; Ok when none is installed.
+  Status RunInvariantHook() const {
+    return invariant_hook_ ? invariant_hook_(*this) : Status::Ok();
+  }
+
+  // --- Execution feedback ---
+  // Forwards per-access-path (estimated, observed) pairs of every executed
+  // statement to the given hook; installed by AutoIndexManager when
+  // cost-model learning is enabled.
+  void set_execution_feedback_hook(Executor::FeedbackHook hook) {
+    executor_->set_feedback_hook(std::move(hook));
+  }
+
+  // --- Introspection ---
+  Executor& executor() { return *executor_; }
+  const Executor& executor() const { return *executor_; }
+  Catalog& catalog() { return *catalog_; }
+  const Catalog& catalog() const { return *catalog_; }
+  IndexManager& index_manager() { return *index_manager_; }
+  const IndexManager& index_manager() const { return *index_manager_; }
+  StatsManager& stats_manager() { return *stats_manager_; }
+  const WhatIfCostModel& what_if() const { return *what_if_; }
+  const CostParams& params() const { return params_; }
+
+ private:
+  CostParams params_;
+  InvariantHook invariant_hook_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<IndexManager> index_manager_;
+  std::unique_ptr<StatsManager> stats_manager_;
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<WhatIfCostModel> what_if_;
+};
+
+}  // namespace autoindex

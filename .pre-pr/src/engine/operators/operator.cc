@@ -1,0 +1,81 @@
+#include "engine/operators/operator.h"
+
+namespace autoindex {
+
+bool PrefixResolver::Resolve(const ColumnRef& col, Value* out) const {
+  for (size_t i = level_ + 1; i > 0; --i) {
+    const TableRef& ref = tables_[i - 1].ref;
+    if (!col.table.empty() && col.table != ref.alias &&
+        col.table != ref.table) {
+      continue;
+    }
+    const HeapTable* t = catalog_.GetTable(ref.table);
+    if (t == nullptr) continue;
+    const int ord = t->schema().FindColumn(col.column);
+    if (ord < 0) continue;
+    const Row* row = RowAt(i - 1);
+    if (row == nullptr) return false;
+    *out = (*row)[static_cast<size_t>(ord)];
+    return true;
+  }
+  return false;
+}
+
+bool LocalConditionsOk(const TablePlan& tp, const ColumnResolver& resolver,
+                       int64_t* comparisons) {
+  for (const ColumnCondition& c : tp.conditions) {
+    if (c.atom == nullptr || c.join_source.has_value()) continue;
+    ++*comparisons;
+    if (!EvaluatePredicate(*c.atom, resolver)) return false;
+  }
+  return true;
+}
+
+bool JoinConditionsOk(const TablePlan& tp, const ColumnResolver& resolver,
+                      int64_t* comparisons) {
+  for (const ColumnCondition& c : tp.conditions) {
+    if (!c.join_source.has_value() || c.atom == nullptr) continue;
+    ++*comparisons;
+    if (!EvaluatePredicate(*c.atom, resolver)) return false;
+  }
+  return true;
+}
+
+void AccumulateOperatorCounters(const PlanNodeSnapshot& node,
+                                ExecStats* stats) {
+  stats->heap_pages_read += static_cast<size_t>(node.actual.heap_pages_read);
+  stats->index_pages_read +=
+      static_cast<size_t>(node.actual.index_pages_read);
+  stats->tuples_examined += static_cast<size_t>(node.actual.tuples_examined);
+  stats->index_tuples_read +=
+      static_cast<size_t>(node.actual.index_tuples_read);
+  stats->sort_rows += static_cast<size_t>(node.actual.sort_rows);
+  for (const PlanNodeSnapshot& c : node.children) {
+    AccumulateOperatorCounters(c, stats);
+  }
+}
+
+PlanNodeSnapshot PhysicalOperator::Snapshot() const {
+  PlanNodeSnapshot snap;
+  snap.op = name();
+  snap.detail = detail();
+  snap.est_rows = est_rows_;
+  snap.est_cost = est_cost_;
+  snap.out_width = out_width();
+  snap.actual = stats_;
+  for (size_t i = 0; i < num_children(); ++i) {
+    snap.children.push_back(child(i)->Snapshot());
+  }
+  return snap;
+}
+
+void CollectAccessPathFeedback(const PhysicalOperator& root,
+                               const CostParams& params,
+                               std::vector<AccessPathFeedback>* out) {
+  root.AppendFeedback(params, out);
+  for (size_t i = 0; i < root.num_children(); ++i) {
+    CollectAccessPathFeedback(*root.child(i), params, out);
+  }
+}
+
+}  // namespace autoindex

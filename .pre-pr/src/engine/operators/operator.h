@@ -1,0 +1,172 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/cost_model.h"
+#include "engine/planner.h"
+#include "sql/statement.h"
+#include "storage/catalog.h"
+
+namespace autoindex {
+
+// Runtime counters every physical operator maintains while pulling tuples.
+// The statement-level ExecStats is derived by summing these over the tree
+// (AccumulateOperatorCounters), so per-operator and whole-statement
+// accounting cannot drift apart. Fields are signed so the plan validator
+// can flag corrupted (negative) counters.
+struct OperatorStats {
+  int64_t rows_in = 0;            // tuples pulled from the outer/child side
+  int64_t rows_out = 0;           // tuples emitted to the parent
+  int64_t heap_pages_read = 0;
+  int64_t index_pages_read = 0;
+  int64_t tuples_examined = 0;    // heap tuples materialized/filtered
+  int64_t index_tuples_read = 0;  // index entries touched by scans
+  int64_t sort_rows = 0;          // rows passed through sort/group work
+  int64_t comparisons = 0;        // predicate/key evaluations performed
+};
+
+// A tuple flowing through the pipeline: one materialized row per placed
+// base table (in join order), with the originating RowIds alongside so
+// write lookups can address the heap. Row-shaped operators
+// (Project/HashAggregate) emit one derived slot with kInvalidRowId.
+struct ExecTuple {
+  std::vector<Row> slots;
+  std::vector<RowId> rids;
+};
+
+// Per-statement state shared by every operator in one tree.
+struct ExecContext {
+  const Catalog* catalog = nullptr;
+  // Heap pages fetched via index probes, deduplicated query-wide: repeated
+  // probes hitting the same (hot or clustered) pages cost one read — the
+  // buffer-cache behaviour the cost model's correlation blend mirrors.
+  // Keys are namespaced by table name so two tables' page 0 stay distinct.
+  std::unordered_set<size_t> probed_heap_pages;
+};
+
+// One access path's estimated-vs-observed execution pair. The executor
+// collects these from scan operators after each statement and forwards
+// them to core/benefit_estimator (the EXPLAIN ANALYZE feedback loop).
+struct AccessPathFeedback {
+  std::string table;         // real table name
+  std::string index;         // index display name; empty = sequential scan
+  double est_rows = 0.0;     // planner's expected rows from the path
+  double actual_rows = 0.0;  // observed rows (mean per probe for indexes)
+  double est_cost = 0.0;     // planner's access-path cost (read side)
+  double actual_cost = 0.0;  // priced from the operator's own counters
+};
+
+// Copyable, pointer-free image of an executed operator tree: what EXPLAIN
+// ANALYZE renders and what the PhysicalPlanValidator checks against the
+// statement-level ExecStats.
+struct PlanNodeSnapshot {
+  std::string op;         // operator name ("IndexScan", "HashJoin", ...)
+  std::string detail;     // target table / keys, human-readable
+  double est_rows = 0.0;  // planner estimate of this operator's output
+  double est_cost = 0.0;  // planner estimate of this operator's own cost
+  size_t out_width = 0;   // slots per emitted tuple
+  OperatorStats actual;
+  std::vector<PlanNodeSnapshot> children;
+};
+
+// Sums the read-side counters of a snapshot tree into *stats. Write-side
+// fields are untouched (operators only ever read).
+void AccumulateOperatorCounters(const PlanNodeSnapshot& node,
+                                ExecStats* stats);
+
+// Resolves columns over the join prefix tables[0..level]: rows come from a
+// partially-built outer tuple plus an optional candidate row for the table
+// being placed (null while binding index key prefixes). Resolution walks
+// newest table first — the same order the monolithic executor used — so
+// unqualified names shadow identically.
+class PrefixResolver : public ColumnResolver {
+ public:
+  PrefixResolver(const Catalog& catalog, const std::vector<TablePlan>& tables,
+                 size_t level)
+      : catalog_(catalog), tables_(tables), level_(level) {}
+
+  // `outer` supplies rows for tables [0, outer->slots.size()); `top` (may
+  // be null) stands in for tables_[level]. When `outer` already carries a
+  // row for every level (a complete tuple), `top` is ignored.
+  void Bind(const ExecTuple* outer, const Row* top) {
+    outer_ = outer;
+    top_ = top;
+  }
+  void set_top(const Row* top) { top_ = top; }
+
+  bool Resolve(const ColumnRef& col, Value* out) const override;
+
+ private:
+  const Row* RowAt(size_t i) const {
+    if (outer_ != nullptr && i < outer_->slots.size()) {
+      return &outer_->slots[i];
+    }
+    return i == level_ ? top_ : nullptr;
+  }
+
+  const Catalog& catalog_;
+  const std::vector<TablePlan>& tables_;
+  size_t level_;
+  const ExecTuple* outer_ = nullptr;
+  const Row* top_ = nullptr;
+};
+
+// Evaluates the level's non-join (literal) conditions / join-equality
+// conditions over the resolver. Each predicate evaluation bumps
+// *comparisons.
+bool LocalConditionsOk(const TablePlan& tp, const ColumnResolver& resolver,
+                       int64_t* comparisons);
+bool JoinConditionsOk(const TablePlan& tp, const ColumnResolver& resolver,
+                      int64_t* comparisons);
+
+// A Volcano-style physical operator: Open() prepares per-execution state,
+// Next() produces the next tuple (false = exhausted), Close() tears down.
+// Heavy work (materialization, hash build) happens lazily on first Next()
+// so untouched subtrees cost nothing — matching the previous executor.
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  virtual void Open() = 0;
+  virtual bool Next(ExecTuple* out) = 0;
+  virtual void Close() = 0;
+
+  virtual const char* name() const = 0;
+  // Human-readable target ("on orders via idx_orders_customer_id").
+  virtual std::string detail() const = 0;
+  // Slots per emitted tuple (1 for scans and row-shaped operators).
+  virtual size_t out_width() const = 0;
+  virtual size_t num_children() const { return 0; }
+  virtual const PhysicalOperator* child(size_t) const { return nullptr; }
+
+  // Per-access-path (estimated, observed) pairs; scan operators override.
+  virtual void AppendFeedback(const CostParams&,
+                              std::vector<AccessPathFeedback>*) const {}
+
+  const OperatorStats& stats() const { return stats_; }
+  double est_rows() const { return est_rows_; }
+  double est_cost() const { return est_cost_; }
+  void set_estimates(double rows, double cost) {
+    est_rows_ = rows;
+    est_cost_ = cost;
+  }
+
+  // Deep, pointer-free copy of the tree with its counters.
+  PlanNodeSnapshot Snapshot() const;
+
+ protected:
+  OperatorStats stats_;
+  double est_rows_ = 0.0;
+  double est_cost_ = 0.0;
+};
+
+// Collects AppendFeedback over the whole tree (pre-order).
+void CollectAccessPathFeedback(const PhysicalOperator& root,
+                               const CostParams& params,
+                               std::vector<AccessPathFeedback>* out);
+
+}  // namespace autoindex

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/operators/operator.h"
+
+namespace autoindex {
+
+// Single-child operator boilerplate.
+class UnaryOpBase : public PhysicalOperator {
+ public:
+  UnaryOpBase(std::unique_ptr<PhysicalOperator> child)
+      : child_(std::move(child)) {}
+
+  void Open() override { child_->Open(); }
+  void Close() override { child_->Close(); }
+  size_t num_children() const override { return 1; }
+  const PhysicalOperator* child(size_t) const override {
+    return child_.get();
+  }
+
+ protected:
+  std::unique_ptr<PhysicalOperator> child_;
+};
+
+// Evaluates the complete WHERE over fully-joined tuples — covers ORs and
+// cross-table predicates the per-level pruning could not evaluate.
+class FilterOp : public UnaryOpBase {
+ public:
+  FilterOp(ExecContext* ctx, const std::vector<TablePlan>& tables,
+           const Expr* predicate, std::unique_ptr<PhysicalOperator> child)
+      : UnaryOpBase(std::move(child)),
+        predicate_(predicate),
+        resolver_(*ctx->catalog, tables, tables.size() - 1) {}
+
+  bool Next(ExecTuple* out) override;
+
+  const char* name() const override { return "Filter"; }
+  std::string detail() const override;
+  size_t out_width() const override { return child_->out_width(); }
+
+ private:
+  const Expr* predicate_;
+  PrefixResolver resolver_;
+};
+
+// Projects joined tuples to output rows (star expansion in join order,
+// columns resolved newest-table-first — the engine's historical
+// semantics). Emits single-slot derived rows.
+class ProjectOp : public UnaryOpBase {
+ public:
+  ProjectOp(ExecContext* ctx, const std::vector<TablePlan>& tables,
+            const std::vector<SelectItem>* items,
+            std::unique_ptr<PhysicalOperator> child)
+      : UnaryOpBase(std::move(child)),
+        items_(items),
+        resolver_(*ctx->catalog, tables, tables.size() - 1) {}
+
+  bool Next(ExecTuple* out) override;
+
+  const char* name() const override { return "Project"; }
+  std::string detail() const override;
+  size_t out_width() const override { return 1; }
+
+ private:
+  const std::vector<SelectItem>* items_;
+  PrefixResolver resolver_;
+};
+
+// Blocking sort. Two key modes:
+//  - kTupleKeys: ORDER BY columns resolved over joined tuples (pre-
+//    projection); counts its input into sort_rows.
+//  - kSlotKeys: ORDER BY matched to select-item slots of aggregate output
+//    rows; contributes nothing to sort_rows because HashAggregate already
+//    counted its groups — the sort-like work the cost model prices.
+class SortOp : public UnaryOpBase {
+ public:
+  enum class Mode { kTupleKeys, kSlotKeys };
+
+  SortOp(ExecContext* ctx, const std::vector<TablePlan>& tables,
+         const std::vector<OrderByItem>* order_by,
+         std::vector<std::pair<int, bool>> slot_keys, Mode mode,
+         std::unique_ptr<PhysicalOperator> child)
+      : UnaryOpBase(std::move(child)),
+        order_by_(order_by),
+        slot_keys_(std::move(slot_keys)),
+        mode_(mode),
+        resolver_(*ctx->catalog, tables, tables.size() - 1) {}
+
+  bool Next(ExecTuple* out) override;
+
+  const char* name() const override { return "Sort"; }
+  std::string detail() const override;
+  size_t out_width() const override { return child_->out_width(); }
+
+ private:
+  void EnsureSorted();
+
+  const std::vector<OrderByItem>* order_by_;
+  std::vector<std::pair<int, bool>> slot_keys_;  // (slot, desc)
+  Mode mode_;
+  PrefixResolver resolver_;
+  std::vector<ExecTuple> buffer_;
+  bool sorted_ = false;
+  size_t cursor_ = 0;
+};
+
+// LIMIT n. After the cap is reached the child is still drained to
+// exhaustion: the engine's accounting (and the what-if model pricing it)
+// has always been LIMIT-blind, and per-operator counters must keep summing
+// to the same statement totals.
+class LimitOp : public UnaryOpBase {
+ public:
+  LimitOp(size_t limit, std::unique_ptr<PhysicalOperator> child)
+      : UnaryOpBase(std::move(child)), limit_(limit) {}
+
+  bool Next(ExecTuple* out) override;
+
+  const char* name() const override { return "Limit"; }
+  std::string detail() const override {
+    return std::to_string(limit_) + " rows";
+  }
+  size_t out_width() const override { return child_->out_width(); }
+
+ private:
+  size_t limit_;
+  size_t emitted_ = 0;
+};
+
+// Blocking hash aggregation on the GROUP BY key (empty key = one group;
+// empty input with no GROUP BY still yields a single zero row). Emits
+// single-slot output rows; counts its group build into sort_rows.
+class HashAggregateOp : public UnaryOpBase {
+ public:
+  HashAggregateOp(ExecContext* ctx, const std::vector<TablePlan>& tables,
+                  const std::vector<SelectItem>* items,
+                  const std::vector<ColumnRef>* group_by,
+                  std::unique_ptr<PhysicalOperator> child)
+      : UnaryOpBase(std::move(child)),
+        items_(items),
+        group_by_(group_by),
+        resolver_(*ctx->catalog, tables, tables.size() - 1) {}
+
+  bool Next(ExecTuple* out) override;
+
+  const char* name() const override { return "HashAggregate"; }
+  std::string detail() const override;
+  size_t out_width() const override { return 1; }
+
+ private:
+  void EnsureAggregated();
+
+  const std::vector<SelectItem>* items_;
+  const std::vector<ColumnRef>* group_by_;
+  PrefixResolver resolver_;
+  std::vector<Row> out_rows_;
+  bool aggregated_ = false;
+  size_t cursor_ = 0;
+};
+
+}  // namespace autoindex

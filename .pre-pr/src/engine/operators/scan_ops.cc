@@ -1,0 +1,235 @@
+#include "engine/operators/scan_ops.h"
+
+#include <functional>
+
+namespace autoindex {
+namespace {
+
+// For a local index: the bound value of the table's partition column, when
+// an equality condition pins it (literal, or join-resolved from the outer
+// tuple). Returns false when unbound (the scan must probe every shard).
+bool ResolvePartitionValue(const BuiltIndex& index, const HeapTable& table,
+                           const std::vector<ColumnCondition>& conditions,
+                           const ColumnResolver& resolver, Value* out) {
+  if (!index.is_local() || !table.partitioned()) return false;
+  const std::string& pcol =
+      table.schema().column(static_cast<size_t>(table.partition_column()))
+          .name;
+  for (const ColumnCondition& c : conditions) {
+    if (c.column != pcol || c.kind != ColumnCondition::kEq) continue;
+    if (c.join_source.has_value()) {
+      if (resolver.Resolve(*c.join_source, out)) return true;
+      continue;
+    }
+    *out = c.literal;
+    return true;
+  }
+  return false;
+}
+
+size_t HeapPageKey(const HeapTable& table, RowId rid) {
+  return table.PageOfRow(rid) ^
+         (std::hash<std::string>()(table.name()) << 1);
+}
+
+}  // namespace
+
+// --- SeqScanOp -----------------------------------------------------------
+
+SeqScanOp::SeqScanOp(ExecContext* ctx, const std::vector<TablePlan>& tables,
+                     size_t level)
+    : ctx_(ctx),
+      tables_(tables),
+      level_(level),
+      table_(ctx->catalog->GetTable(tables[level].ref.table)),
+      resolver_(*ctx->catalog, tables, level) {}
+
+void SeqScanOp::EnsureMaterialized() {
+  if (materialized_done_) return;
+  const TablePlan& tp = tables_[level_];
+  table_->Scan([&](RowId rid, const Row& row) {
+    ++stats_.tuples_examined;
+    resolver_.Bind(nullptr, &row);
+    if (LocalConditionsOk(tp, resolver_, &stats_.comparisons)) {
+      materialized_.push_back(rid);
+    }
+  });
+  stats_.heap_pages_read += static_cast<int64_t>(table_->NumPages());
+  materialized_done_ = true;
+}
+
+bool SeqScanOp::Next(ExecTuple* out) {
+  EnsureMaterialized();
+  while (cursor_ < materialized_.size()) {
+    const RowId rid = materialized_[cursor_++];
+    if (!table_->IsLive(rid)) continue;
+    out->slots.assign(1, table_->Get(rid));
+    out->rids.assign(1, rid);
+    ++stats_.rows_out;
+    return true;
+  }
+  return false;
+}
+
+std::string SeqScanOp::detail() const {
+  return "on " + tables_[level_].ref.alias;
+}
+
+void SeqScanOp::AppendFeedback(const CostParams& params,
+                               std::vector<AccessPathFeedback>* out) const {
+  if (!materialized_done_) return;  // never executed
+  AccessPathFeedback fb;
+  fb.table = tables_[level_].ref.table;
+  fb.est_rows = tables_[level_].access.est_rows;
+  fb.actual_rows = static_cast<double>(materialized_.size());
+  fb.est_cost = tables_[level_].access.est_cost;
+  fb.actual_cost =
+      static_cast<double>(stats_.heap_pages_read) * params.seq_page_cost +
+      static_cast<double>(stats_.tuples_examined) * params.cpu_tuple_cost;
+  out->push_back(std::move(fb));
+}
+
+// --- IndexScanOp ---------------------------------------------------------
+
+IndexScanOp::IndexScanOp(ExecContext* ctx,
+                         const std::vector<TablePlan>& tables, size_t level,
+                         const BuiltIndex* index)
+    : ctx_(ctx),
+      tables_(tables),
+      level_(level),
+      table_(ctx->catalog->GetTable(tables[level].ref.table)),
+      index_(index),
+      resolver_(*ctx->catalog, tables, level) {}
+
+void IndexScanOp::Open() {
+  // Standalone use (leftmost table / write lookup): one probe, all key
+  // columns bound from literals. As a join inner, the parent Rebind()s
+  // per outer tuple instead and this initial probe is never issued.
+  if (level_ == 0) {
+    (void)Rebind(nullptr);
+  }
+}
+
+bool IndexScanOp::Rebind(const ExecTuple* outer) {
+  const TablePlan& tp = tables_[level_];
+  outer_ = outer;
+  rids_.clear();
+  cursor_ = 0;
+  resolver_.Bind(outer, nullptr);
+
+  // Runtime key prefix: equality columns may be literals or join
+  // references resolved from the outer tuple.
+  Row lo, hi;
+  bool lo_inc = true, hi_inc = true;
+  for (size_t k = 0; k < tp.access.eq_prefix_len; ++k) {
+    const std::string& icol = tp.access.index.columns[k];
+    bool bound = false;
+    for (const ColumnCondition& c : tp.conditions) {
+      if (c.column != icol || c.kind != ColumnCondition::kEq) continue;
+      Value v;
+      if (c.join_source.has_value()) {
+        if (!resolver_.Resolve(*c.join_source, &v)) continue;
+      } else {
+        v = c.literal;
+      }
+      lo.push_back(v);
+      hi.push_back(v);
+      bound = true;
+      break;
+    }
+    if (!bound) return false;
+  }
+  if (tp.access.has_range &&
+      tp.access.eq_prefix_len < tp.access.index.columns.size()) {
+    const std::string& rcol = tp.access.index.columns[tp.access.eq_prefix_len];
+    for (const ColumnCondition& c : tp.conditions) {
+      if (c.column != rcol) continue;
+      if (c.kind == ColumnCondition::kRangeLo) {
+        if (lo.size() == tp.access.eq_prefix_len) {
+          lo.push_back(c.literal);
+          lo_inc = c.inclusive;
+        }
+      } else if (c.kind == ColumnCondition::kRangeHi) {
+        if (hi.size() == tp.access.eq_prefix_len) {
+          hi.push_back(c.literal);
+          hi_inc = c.inclusive;
+        }
+      }
+    }
+  }
+
+  size_t index_pages = 0;
+  const Row* lo_ptr = lo.empty() ? nullptr : &lo;
+  const Row* hi_ptr = hi.empty() ? nullptr : &hi;
+  Value partition_value;
+  const bool pruned = ResolvePartitionValue(
+      *index_, *table_, tp.conditions, resolver_, &partition_value);
+  index_->Scan(pruned ? &partition_value : nullptr, lo_ptr, lo_inc, hi_ptr,
+               hi_inc,
+               [&](const Row&, RowId rid) {
+                 rids_.push_back(rid);
+                 return true;
+               },
+               &index_pages);
+  stats_.index_pages_read += static_cast<int64_t>(index_pages);
+  stats_.index_tuples_read += static_cast<int64_t>(rids_.size());
+  ++probes_;
+  return true;
+}
+
+bool IndexScanOp::Next(ExecTuple* out) {
+  const TablePlan& tp = tables_[level_];
+  while (cursor_ < rids_.size()) {
+    const RowId rid = rids_[cursor_++];
+    if (!table_->IsLive(rid)) continue;
+    if (ctx_->probed_heap_pages.insert(HeapPageKey(*table_, rid)).second) {
+      ++stats_.heap_pages_read;
+    }
+    const Row& row = table_->Get(rid);
+    ++stats_.tuples_examined;
+    resolver_.Bind(outer_, &row);
+    if (!LocalConditionsOk(tp, resolver_, &stats_.comparisons) ||
+        !JoinConditionsOk(tp, resolver_, &stats_.comparisons)) {
+      continue;
+    }
+    out->slots.assign(1, row);
+    out->rids.assign(1, rid);
+    ++stats_.rows_out;
+    return true;
+  }
+  return false;
+}
+
+std::string IndexScanOp::detail() const {
+  const TablePlan& tp = tables_[level_];
+  std::string out = "on " + tp.ref.alias + " via " +
+                    tp.access.index.DisplayName();
+  if (tp.access.eq_prefix_len > 0 || tp.access.has_range) {
+    out += " (eq prefix " + std::to_string(tp.access.eq_prefix_len);
+    if (tp.access.has_range) out += ", range";
+    out += ")";
+  }
+  return out;
+}
+
+void IndexScanOp::AppendFeedback(const CostParams& params,
+                                 std::vector<AccessPathFeedback>* out) const {
+  if (probes_ == 0) return;  // never executed
+  const double probes = static_cast<double>(probes_);
+  AccessPathFeedback fb;
+  fb.table = tables_[level_].ref.table;
+  fb.index = tables_[level_].access.index.DisplayName();
+  fb.est_rows = tables_[level_].access.est_match_rows;
+  fb.actual_rows = static_cast<double>(stats_.index_tuples_read) / probes;
+  fb.est_cost = tables_[level_].access.est_cost;
+  fb.actual_cost =
+      (static_cast<double>(stats_.index_pages_read) * params.random_page_cost +
+       static_cast<double>(stats_.heap_pages_read) * params.random_page_cost +
+       static_cast<double>(stats_.index_tuples_read) *
+           params.cpu_index_tuple_cost +
+       static_cast<double>(stats_.tuples_examined) * params.cpu_tuple_cost) /
+      probes;
+  out->push_back(std::move(fb));
+}
+
+}  // namespace autoindex

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/operators/operator.h"
+#include "index/index_manager.h"
+
+namespace autoindex {
+
+// Sequential scan over one table, filtered by the level's local (literal)
+// conditions. The filtered RowIds are materialized once on first pull;
+// Rewind() replays them without rescanning, which is how NestedLoopJoin
+// re-reads its inner side per outer tuple (liveness is rechecked per
+// emission, materialization counters are paid once).
+class SeqScanOp : public PhysicalOperator {
+ public:
+  SeqScanOp(ExecContext* ctx, const std::vector<TablePlan>& tables,
+            size_t level);
+
+  void Open() override {}
+  bool Next(ExecTuple* out) override;
+  void Close() override {}
+
+  const char* name() const override { return "SeqScan"; }
+  std::string detail() const override;
+  size_t out_width() const override { return 1; }
+
+  void Rewind() { cursor_ = 0; }
+
+  void AppendFeedback(const CostParams& params,
+                      std::vector<AccessPathFeedback>* out) const override;
+
+ private:
+  void EnsureMaterialized();
+
+  ExecContext* ctx_;
+  const std::vector<TablePlan>& tables_;
+  size_t level_;
+  const HeapTable* table_;
+  PrefixResolver resolver_;
+  std::vector<RowId> materialized_;
+  bool materialized_done_ = false;
+  size_t cursor_ = 0;
+};
+
+// Index scan over one table. Standalone (leftmost table / write lookup) it
+// probes once in Open(); as the inner side of IndexNestedLoopJoin it is
+// re-probed per outer tuple via Rebind(). Emitted rows already passed the
+// level's local and join conditions, evaluated against the bound outer
+// tuple. Heap pages are deduplicated query-wide through the ExecContext.
+class IndexScanOp : public PhysicalOperator {
+ public:
+  IndexScanOp(ExecContext* ctx, const std::vector<TablePlan>& tables,
+              size_t level, const BuiltIndex* index);
+
+  void Open() override;
+  bool Next(ExecTuple* out) override;
+  void Close() override {}
+
+  const char* name() const override { return "IndexScan"; }
+  std::string detail() const override;
+  size_t out_width() const override { return 1; }
+
+  // Probes the index with the key prefix bound against `outer` (null for
+  // the leftmost table: literal bindings only). Returns false when a
+  // join-bound key column cannot be resolved — lowering statically avoids
+  // that case, and an unbindable probe simply yields no rows.
+  bool Rebind(const ExecTuple* outer);
+
+  void AppendFeedback(const CostParams& params,
+                      std::vector<AccessPathFeedback>* out) const override;
+
+ private:
+  ExecContext* ctx_;
+  const std::vector<TablePlan>& tables_;
+  size_t level_;
+  const HeapTable* table_;
+  const BuiltIndex* index_;
+  PrefixResolver resolver_;
+  const ExecTuple* outer_ = nullptr;
+  std::vector<RowId> rids_;
+  size_t cursor_ = 0;
+  int64_t probes_ = 0;
+};
+
+}  // namespace autoindex

@@ -1,0 +1,312 @@
+#include "index/index_manager.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace autoindex {
+namespace {
+
+// Global indexes over partitioned tables carry a partition pointer per
+// entry (the reason they cost more space than local indexes).
+constexpr size_t kGlobalPartitionPointerBytes = 8;
+
+size_t EffectiveKeyWidth(const IndexDef& def, const HeapTable& table) {
+  size_t width = def.KeyWidth(table.schema());
+  if (def.kind == IndexKind::kGlobal && table.partitioned()) {
+    width += kGlobalPartitionPointerBytes;
+  }
+  return width;
+}
+
+}  // namespace
+
+BuiltIndex::BuiltIndex(IndexDef def, const HeapTable& table)
+    : def_(std::move(def)), table_(&table) {
+  column_ordinals_.reserve(def_.columns.size());
+  for (const std::string& col : def_.columns) {
+    column_ordinals_.push_back(table.schema().FindColumn(col));
+  }
+  const size_t capacity =
+      LeafCapacityForWidth(EffectiveKeyWidth(def_, table));
+  const size_t trees = (def_.kind == IndexKind::kLocal && table.partitioned())
+                           ? table.num_partitions()
+                           : 1;
+  trees_.reserve(trees);
+  for (size_t i = 0; i < trees; ++i) {
+    trees_.push_back(std::make_unique<BTree>(capacity, capacity));
+  }
+}
+
+Row BuiltIndex::KeyFromRow(const Row& row) const {
+  Row key;
+  key.reserve(column_ordinals_.size());
+  for (int ord : column_ordinals_) {
+    key.push_back(ord >= 0 ? row[static_cast<size_t>(ord)] : Value::Null());
+  }
+  return key;
+}
+
+void BuiltIndex::InsertEntry(const Row& full_row, RowId rid) {
+  const size_t shard =
+      is_local() ? table_->PartitionOfRow(full_row) % trees_.size() : 0;
+  trees_[shard]->Insert(KeyFromRow(full_row), rid);
+}
+
+bool BuiltIndex::DeleteEntry(const Row& full_row, RowId rid) {
+  const size_t shard =
+      is_local() ? table_->PartitionOfRow(full_row) % trees_.size() : 0;
+  return trees_[shard]->Delete(KeyFromRow(full_row), rid);
+}
+
+void BuiltIndex::Scan(const Value* partition_value, const Row* lo,
+                      bool lo_inclusive, const Row* hi, bool hi_inclusive,
+                      const std::function<bool(const Row&, RowId)>& fn,
+                      size_t* pages_touched) const {
+  if (is_local() && partition_value != nullptr) {
+    const size_t shard =
+        table_->PartitionOfValue(*partition_value) % trees_.size();
+    trees_[shard]->Scan(lo, lo_inclusive, hi, hi_inclusive, fn,
+                        pages_touched);
+    return;
+  }
+  // Global index, or local without partition pruning: every tree.
+  bool keep_going = true;
+  for (const auto& tree : trees_) {
+    if (!keep_going) break;
+    tree->Scan(lo, lo_inclusive, hi, hi_inclusive,
+               [&](const Row& key, RowId rid) {
+                 keep_going = fn(key, rid);
+                 return keep_going;
+               },
+               pages_touched);
+  }
+}
+
+size_t BuiltIndex::num_entries() const {
+  size_t total = 0;
+  for (const auto& tree : trees_) total += tree->num_entries();
+  return total;
+}
+
+size_t BuiltIndex::height() const {
+  size_t h = 1;
+  for (const auto& tree : trees_) h = std::max(h, tree->height());
+  return h;
+}
+
+size_t BuiltIndex::num_splits() const {
+  size_t total = 0;
+  for (const auto& tree : trees_) total += tree->num_splits();
+  return total;
+}
+
+size_t BuiltIndex::SizeBytes() const {
+  size_t nodes = 0;
+  for (const auto& tree : trees_) nodes += tree->num_nodes();
+  return nodes * kPageSizeBytes;
+}
+
+IndexStatsView EstimateStatsView(const IndexDef& def,
+                                 const HeapTable& table) {
+  IndexStatsView view;
+  view.def = def;
+  view.hypothetical = true;
+  const size_t width = EffectiveKeyWidth(def, table);
+  view.num_entries = table.num_rows();
+  if (def.kind == IndexKind::kLocal && table.partitioned()) {
+    view.partitions = table.num_partitions();
+    const size_t per_tree =
+        std::max<size_t>(1, view.num_entries / view.partitions);
+    view.height = EstimateIndexHeight(per_tree, width);
+    view.size_bytes =
+        view.partitions * EstimateIndexBytes(per_tree, width);
+  } else {
+    view.partitions = 1;
+    view.height = EstimateIndexHeight(view.num_entries, width);
+    view.size_bytes = EstimateIndexBytes(view.num_entries, width);
+  }
+  return view;
+}
+
+Status IndexManager::ValidateDef(const IndexDef& def) const {
+  if (def.columns.empty()) {
+    return Status::InvalidArgument("index needs at least one column");
+  }
+  const HeapTable* table = catalog_->GetTable(def.table);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + def.table);
+  }
+  for (const std::string& col : def.columns) {
+    if (!table->schema().HasColumn(col)) {
+      return Status::NotFound(
+          StrFormat("no column %s in table %s", col.c_str(),
+                    def.table.c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status IndexManager::CreateIndex(const IndexDef& def) {
+  Status s = ValidateDef(def);
+  if (!s.ok()) return s;
+  const std::string key = def.Key();
+  if (indexes_.count(key) > 0) {
+    return Status::AlreadyExists("index exists: " + key);
+  }
+  HeapTable* table = catalog_->GetTable(def.table);
+  auto index = std::make_unique<BuiltIndex>(def, *table);
+  BuiltIndex* raw = index.get();
+  table->Scan([&](RowId rid, const Row& row) { raw->InsertEntry(row, rid); });
+  indexes_.emplace(key, std::move(index));
+  return Status::Ok();
+}
+
+Status IndexManager::DropIndex(const std::string& index_key_or_name) {
+  if (indexes_.erase(index_key_or_name) > 0) return Status::Ok();
+  // Fall back to display-name lookup.
+  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+    if (it->second->def().DisplayName() == index_key_or_name) {
+      indexes_.erase(it);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("no such index: " + index_key_or_name);
+}
+
+bool IndexManager::HasIndex(const IndexDef& def) const {
+  return indexes_.count(def.Key()) > 0;
+}
+
+std::vector<BuiltIndex*> IndexManager::IndexesOnTable(
+    const std::string& table) {
+  std::vector<BuiltIndex*> out;
+  const std::string key = ToLower(table);
+  for (auto& [_, index] : indexes_) {
+    if (index->def().table == key) out.push_back(index.get());
+  }
+  return out;
+}
+
+std::vector<const BuiltIndex*> IndexManager::IndexesOnTable(
+    const std::string& table) const {
+  std::vector<const BuiltIndex*> out;
+  const std::string key = ToLower(table);
+  for (const auto& [_, index] : indexes_) {
+    if (index->def().table == key) out.push_back(index.get());
+  }
+  return out;
+}
+
+std::vector<BuiltIndex*> IndexManager::AllIndexes() {
+  std::vector<BuiltIndex*> out;
+  out.reserve(indexes_.size());
+  for (auto& [_, index] : indexes_) out.push_back(index.get());
+  return out;
+}
+
+std::vector<const BuiltIndex*> IndexManager::AllIndexes() const {
+  std::vector<const BuiltIndex*> out;
+  out.reserve(indexes_.size());
+  for (const auto& [_, index] : indexes_) out.push_back(index.get());
+  return out;
+}
+
+size_t IndexManager::TotalIndexBytes() const {
+  size_t total = 0;
+  for (const auto& [_, index] : indexes_) total += index->SizeBytes();
+  return total;
+}
+
+size_t IndexManager::OnInsert(const std::string& table, RowId rid,
+                              const Row& row) {
+  size_t touched = 0;
+  for (BuiltIndex* index : IndexesOnTable(table)) {
+    index->InsertEntry(row, rid);
+    index->RecordMaintenance();
+    ++touched;
+  }
+  return touched;
+}
+
+size_t IndexManager::OnDelete(const std::string& table, RowId rid,
+                              const Row& row) {
+  size_t touched = 0;
+  for (BuiltIndex* index : IndexesOnTable(table)) {
+    index->DeleteEntry(row, rid);
+    index->RecordMaintenance();
+    ++touched;
+  }
+  return touched;
+}
+
+size_t IndexManager::OnUpdate(const std::string& table, RowId rid,
+                              const Row& old_row, const Row& new_row) {
+  size_t touched = 0;
+  const HeapTable* t = catalog_->GetTable(table);
+  for (BuiltIndex* index : IndexesOnTable(table)) {
+    const Row old_key = index->KeyFromRow(old_row);
+    const Row new_key = index->KeyFromRow(new_row);
+    const bool partition_moved =
+        index->is_local() && t != nullptr &&
+        t->PartitionOfRow(old_row) != t->PartitionOfRow(new_row);
+    if (CompareRows(old_key, new_key) == 0 && !partition_moved) {
+      continue;  // key unchanged, same shard
+    }
+    index->DeleteEntry(old_row, rid);
+    index->InsertEntry(new_row, rid);
+    index->RecordMaintenance();
+    ++touched;
+  }
+  return touched;
+}
+
+Status IndexManager::AddHypothetical(const IndexDef& def) {
+  Status s = ValidateDef(def);
+  if (!s.ok()) return s;
+  const HeapTable* table = catalog_->GetTable(def.table);
+  const IndexStatsView view = EstimateStatsView(def, *table);
+  HypotheticalIndex hypo;
+  hypo.def = def;
+  hypo.est_entries = view.num_entries;
+  hypo.est_height = view.height;
+  hypo.est_bytes = view.size_bytes;
+  hypothetical_.push_back(std::move(hypo));
+  return Status::Ok();
+}
+
+std::vector<IndexStatsView> IndexManager::StatsOnTable(
+    const std::string& table) const {
+  std::vector<IndexStatsView> out;
+  const std::string key = ToLower(table);
+  const HeapTable* t = catalog_->GetTable(table);
+  for (const auto& [_, index] : indexes_) {
+    if (index->def().table != key) continue;
+    IndexStatsView view;
+    view.def = index->def();
+    view.num_entries = index->num_entries();
+    view.height = index->height();
+    view.size_bytes = index->SizeBytes();
+    view.partitions = index->num_trees();
+    view.hypothetical = false;
+    out.push_back(std::move(view));
+  }
+  for (const HypotheticalIndex& hypo : hypothetical_) {
+    if (hypo.def.table != key) continue;
+    IndexStatsView view;
+    view.def = hypo.def;
+    view.num_entries = hypo.est_entries;
+    view.height = hypo.est_height;
+    view.size_bytes = hypo.est_bytes;
+    view.partitions =
+        (hypo.def.kind == IndexKind::kLocal && t != nullptr &&
+         t->partitioned())
+            ? t->num_partitions()
+            : 1;
+    view.hypothetical = true;
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+}  // namespace autoindex

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/btree.h"
+#include "index/index_def.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace autoindex {
+
+// A materialized secondary index: definition + one B+Tree (global) or one
+// tree per table partition (local), plus runtime usage counters that feed
+// the index-diagnosis module.
+class BuiltIndex {
+ public:
+  // `table` supplies the schema and (for local indexes) the partitioning.
+  BuiltIndex(IndexDef def, const HeapTable& table);
+
+  const IndexDef& def() const { return def_; }
+  bool is_local() const { return trees_.size() > 1; }
+  size_t num_trees() const { return trees_.size(); }
+
+  // The single tree of a global/unpartitioned index (tests, stats).
+  BTree& tree() { return *trees_[0]; }
+  const BTree& tree() const { return *trees_[0]; }
+  BTree& tree_at(size_t i) { return *trees_[i]; }
+  const BTree& tree_at(size_t i) const { return *trees_[i]; }
+
+  // Extracts this index's key from a full table row.
+  Row KeyFromRow(const Row& row) const;
+
+  // Entry maintenance, routed to the owning partition's tree.
+  void InsertEntry(const Row& full_row, RowId rid);
+  bool DeleteEntry(const Row& full_row, RowId rid);
+
+  // Scans the index. For a local index, `partition_value` (the bound value
+  // of the table's partition column, when the query pins it) restricts the
+  // scan to one partition tree; null scans every tree. Bounds as in
+  // BTree::Scan. Pages touched accumulate into *pages_touched.
+  void Scan(const Value* partition_value, const Row* lo, bool lo_inclusive,
+            const Row* hi, bool hi_inclusive,
+            const std::function<bool(const Row&, RowId)>& fn,
+            size_t* pages_touched = nullptr) const;
+
+  size_t num_entries() const;
+  // Height of the (tallest) tree — H in the maintenance-cost formula.
+  size_t height() const;
+  size_t num_splits() const;
+  size_t SizeBytes() const;
+
+  // Planner usage accounting (Sec. III "rarely-used indexes").
+  void RecordUse() { ++uses_; }
+  size_t uses() const { return uses_; }
+  void ResetUses() { uses_ = 0; }
+
+  // Maintenance accounting: number of write operations applied.
+  size_t maintenance_ops() const { return maintenance_ops_; }
+  void RecordMaintenance() { ++maintenance_ops_; }
+
+ private:
+  IndexDef def_;
+  const HeapTable* table_;
+  std::vector<int> column_ordinals_;
+  std::vector<std::unique_ptr<BTree>> trees_;
+  size_t uses_ = 0;
+  size_t maintenance_ops_ = 0;
+};
+
+// A what-if index (Sec. V C2.1): never built, its statistics are estimated
+// from the table so the planner/cost model can price plans as if it
+// existed. This substitutes for openGauss's hypopg extension.
+struct HypotheticalIndex {
+  IndexDef def;
+  size_t est_entries = 0;
+  size_t est_height = 1;
+  size_t est_bytes = kPageSizeBytes;
+};
+
+// Uniform statistics view over built and hypothetical indexes; everything
+// the cost model needs (N, H, pages — Sec. V-A). For local indexes,
+// `height` is the per-partition tree height and `partitions` the number of
+// trees an unpruned lookup must probe.
+struct IndexStatsView {
+  IndexDef def;
+  size_t num_entries = 0;
+  size_t height = 1;
+  size_t size_bytes = kPageSizeBytes;
+  size_t partitions = 1;
+  bool hypothetical = false;
+};
+
+// Fills the estimated entry count / height / size of `def` over `table`
+// (shared by hypothetical registration and what-if configs).
+IndexStatsView EstimateStatsView(const IndexDef& def, const HeapTable& table);
+
+// Owns every secondary index of a database and keeps them consistent with
+// table writes. Also hosts the hypothetical-index registry.
+class IndexManager {
+ public:
+  explicit IndexManager(Catalog* catalog) : catalog_(catalog) {}
+
+  IndexManager(const IndexManager&) = delete;
+  IndexManager& operator=(const IndexManager&) = delete;
+
+  // Builds a real index by scanning the table. Fails on duplicates
+  // (same column list) or unknown table/columns.
+  Status CreateIndex(const IndexDef& def);
+  Status DropIndex(const std::string& index_key_or_name);
+  bool HasIndex(const IndexDef& def) const;
+
+  // All built indexes on one table (borrowed pointers).
+  std::vector<BuiltIndex*> IndexesOnTable(const std::string& table);
+  std::vector<const BuiltIndex*> IndexesOnTable(const std::string& table) const;
+  std::vector<BuiltIndex*> AllIndexes();
+  std::vector<const BuiltIndex*> AllIndexes() const;
+  size_t num_indexes() const { return indexes_.size(); }
+
+  // Total bytes of all built indexes.
+  size_t TotalIndexBytes() const;
+
+  // Write hooks called by the executor to keep indexes in sync. Each
+  // returns the number of index entries touched (for cost accounting).
+  size_t OnInsert(const std::string& table, RowId rid, const Row& row);
+  size_t OnDelete(const std::string& table, RowId rid, const Row& row);
+  size_t OnUpdate(const std::string& table, RowId rid, const Row& old_row,
+                  const Row& new_row);
+
+  // --- Hypothetical indexes ---
+  Status AddHypothetical(const IndexDef& def);
+  void ClearHypothetical() { hypothetical_.clear(); }
+  const std::vector<HypotheticalIndex>& hypothetical() const {
+    return hypothetical_;
+  }
+
+  // Stats views of every index (built + hypothetical) on a table; this is
+  // what the what-if planner enumerates.
+  std::vector<IndexStatsView> StatsOnTable(const std::string& table) const;
+
+ private:
+  Status ValidateDef(const IndexDef& def) const;
+
+  Catalog* catalog_;
+  // Keyed by IndexDef::Key().
+  std::unordered_map<std::string, std::unique_ptr<BuiltIndex>> indexes_;
+  std::vector<HypotheticalIndex> hypothetical_;
+};
+
+}  // namespace autoindex

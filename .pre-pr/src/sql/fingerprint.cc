@@ -1,0 +1,76 @@
+#include "sql/fingerprint.h"
+
+#include <vector>
+
+#include "sql/lexer.h"
+#include "util/string_util.h"
+
+namespace autoindex {
+
+std::string FingerprintSql(const std::string& sql) {
+  StatusOr<std::vector<Token>> tokens = Tokenize(sql);
+  if (!tokens.ok()) {
+    return ToLower(std::string(Trim(sql)));
+  }
+  std::string out;
+  out.reserve(sql.size());
+  const std::vector<Token>& toks = *tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.type == TokenType::kEnd || t.type == TokenType::kSemicolon) break;
+    std::string piece;
+    switch (t.type) {
+      case TokenType::kInteger:
+      case TokenType::kFloat:
+      case TokenType::kString:
+        piece = "?";
+        break;
+      default:
+        piece = t.text;
+        break;
+    }
+    // Collapse "( ? , ? , ... )" (IN lists, VALUES rows) into "(?)" so that
+    // row counts / list lengths do not fragment templates.
+    if (t.type == TokenType::kLParen) {
+      size_t j = i + 1;
+      bool all_literals = j < toks.size();
+      size_t count = 0;
+      while (j < toks.size() && toks[j].type != TokenType::kRParen) {
+        if (toks[j].type == TokenType::kInteger ||
+            toks[j].type == TokenType::kFloat ||
+            toks[j].type == TokenType::kString ||
+            (toks[j].type == TokenType::kKeyword && toks[j].text == "NULL")) {
+          ++count;
+          ++j;
+          if (j < toks.size() && toks[j].type == TokenType::kComma) ++j;
+          continue;
+        }
+        all_literals = false;
+        break;
+      }
+      if (all_literals && count > 0 && j < toks.size() &&
+          toks[j].type == TokenType::kRParen) {
+        if (!out.empty() && out.back() != ' ') out.push_back(' ');
+        out += "(?)";
+        i = j;  // skip to the ')'
+        continue;
+      }
+    }
+    if (!out.empty()) out.push_back(' ');
+    out += piece;
+  }
+  return out;
+}
+
+uint64_t FingerprintHash(const std::string& sql) {
+  const std::string fp = FingerprintSql(sql);
+  // FNV-1a.
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : fp) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace autoindex

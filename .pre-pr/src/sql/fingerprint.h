@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "util/status.h"
+
+namespace autoindex {
+
+// Maps a SQL string to its query-template fingerprint (Sec. IV-A step 1):
+// literals are replaced with '?', IN lists collapse to a single '?',
+// identifiers are lowercased, keywords uppercased, whitespace normalized.
+// Two queries that differ only in predicate constants share a fingerprint.
+//
+// Returns the raw input trimmed/lowercased if the string does not tokenize
+// (so that malformed queries still bucket deterministically).
+std::string FingerprintSql(const std::string& sql);
+
+// Stable 64-bit hash of the fingerprint, for compact template keys.
+uint64_t FingerprintHash(const std::string& sql);
+
+}  // namespace autoindex

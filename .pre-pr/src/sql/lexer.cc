@@ -1,0 +1,178 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace autoindex {
+
+bool IsSqlKeyword(const std::string& upper_word) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM",  "WHERE",  "AND",    "OR",     "NOT",
+      "INSERT", "INTO",  "VALUES", "UPDATE", "SET",    "DELETE",
+      "GROUP",  "ORDER", "BY",     "ASC",    "DESC",   "LIMIT",
+      "JOIN",   "INNER", "ON",     "AS",     "BETWEEN", "IN",
+      "IS",     "NULL",  "LIKE",   "COUNT",  "SUM",    "AVG",
+      "MIN",    "MAX",   "DISTINCT",
+  };
+  return kKeywords.count(upper_word) > 0;
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      std::string word = sql.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      if (IsSqlKeyword(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = ToLower(word);
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])) &&
+                (tokens.empty() || tokens.back().type == TokenType::kOperator ||
+                 tokens.back().type == TokenType::kComma ||
+                 tokens.back().type == TokenType::kLParen ||
+                 tokens.back().type == TokenType::kKeyword))) {
+      size_t j = i + 1;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.')) {
+        if (sql[j] == '.') {
+          // A second dot ends the number (e.g. range syntax is unsupported).
+          if (is_float) break;
+          is_float = true;
+        }
+        ++j;
+      }
+      tok.type = is_float ? TokenType::kFloat : TokenType::kInteger;
+      tok.text = sql.substr(i, j - i);
+      i = j;
+    } else if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(text);
+      i = j;
+    } else {
+      switch (c) {
+        case ',':
+          tok.type = TokenType::kComma;
+          tok.text = ",";
+          ++i;
+          break;
+        case '.':
+          tok.type = TokenType::kDot;
+          tok.text = ".";
+          ++i;
+          break;
+        case '(':
+          tok.type = TokenType::kLParen;
+          tok.text = "(";
+          ++i;
+          break;
+        case ')':
+          tok.type = TokenType::kRParen;
+          tok.text = ")";
+          ++i;
+          break;
+        case '*':
+          tok.type = TokenType::kStar;
+          tok.text = "*";
+          ++i;
+          break;
+        case ';':
+          tok.type = TokenType::kSemicolon;
+          tok.text = ";";
+          ++i;
+          break;
+        case '=':
+          tok.type = TokenType::kOperator;
+          tok.text = "=";
+          ++i;
+          break;
+        case '<':
+          tok.type = TokenType::kOperator;
+          if (i + 1 < n && sql[i + 1] == '=') {
+            tok.text = "<=";
+            i += 2;
+          } else if (i + 1 < n && sql[i + 1] == '>') {
+            tok.text = "<>";
+            i += 2;
+          } else {
+            tok.text = "<";
+            ++i;
+          }
+          break;
+        case '>':
+          tok.type = TokenType::kOperator;
+          if (i + 1 < n && sql[i + 1] == '=') {
+            tok.text = ">=";
+            i += 2;
+          } else {
+            tok.text = ">";
+            ++i;
+          }
+          break;
+        case '!':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            tok.type = TokenType::kOperator;
+            tok.text = "<>";
+            i += 2;
+          } else {
+            return Status::InvalidArgument("unexpected character '!'");
+          }
+          break;
+        default:
+          return Status::InvalidArgument(
+              StrFormat("unexpected character '%c' at offset %zu", c, i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace autoindex

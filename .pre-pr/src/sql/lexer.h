@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sql/token.h"
+#include "util/status.h"
+
+namespace autoindex {
+
+// Tokenizes one SQL statement. Keywords are uppercased, identifiers
+// lowercased, string literals unquoted. The trailing kEnd token is always
+// present on success.
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
+
+// True if the (uppercased) word is a reserved SQL keyword.
+bool IsSqlKeyword(const std::string& upper_word);
+
+}  // namespace autoindex

@@ -1,0 +1,540 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/lexer.h"
+#include "util/string_util.h"
+
+namespace autoindex {
+namespace {
+
+// Recursive-descent parser over the token stream produced by Tokenize().
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Statement> ParseStatement() {
+    const Token& t = Peek();
+    StatusOr<Statement> result = Status::InvalidArgument("empty statement");
+    if (t.IsKeyword("SELECT")) {
+      result = ParseSelect();
+    } else if (t.IsKeyword("INSERT")) {
+      result = ParseInsert();
+    } else if (t.IsKeyword("UPDATE")) {
+      result = ParseUpdate();
+    } else if (t.IsKeyword("DELETE")) {
+      result = ParseDelete();
+    } else {
+      return Status::InvalidArgument("statement must start with "
+                                     "SELECT/INSERT/UPDATE/DELETE");
+    }
+    if (!result.ok()) return result;
+    // Allow a trailing semicolon.
+    if (Peek().type == TokenType::kSemicolon) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Status::InvalidArgument("unexpected trailing tokens: " +
+                                     Peek().text);
+    }
+    return result;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(TokenType type) {
+    if (Peek().type == type) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenType type, const char* what) {
+    if (!Match(type)) {
+      return Status::InvalidArgument(StrFormat("expected %s near '%s'", what,
+                                               Peek().text.c_str()));
+    }
+    return Status::Ok();
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::InvalidArgument(StrFormat("expected %s near '%s'", kw,
+                                               Peek().text.c_str()));
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<Statement> ParseSelect() {
+    Advance();  // SELECT
+    auto sel = std::make_unique<SelectStatement>();
+    if (MatchKeyword("DISTINCT")) {
+      // DISTINCT is accepted and ignored by the executor; it does not affect
+      // index candidates.
+    }
+    // Projection list.
+    while (true) {
+      SelectItem item;
+      if (Match(TokenType::kStar)) {
+        item.star = true;
+      } else if (Peek().type == TokenType::kKeyword &&
+                 (Peek().text == "COUNT" || Peek().text == "SUM" ||
+                  Peek().text == "AVG" || Peek().text == "MIN" ||
+                  Peek().text == "MAX")) {
+        const std::string fn = Advance().text;
+        item.agg = fn == "COUNT"  ? AggFunc::kCount
+                   : fn == "SUM" ? AggFunc::kSum
+                   : fn == "AVG" ? AggFunc::kAvg
+                   : fn == "MIN" ? AggFunc::kMin
+                                 : AggFunc::kMax;
+        Status s = Expect(TokenType::kLParen, "(");
+        if (!s.ok()) return s;
+        if (Match(TokenType::kStar)) {
+          item.star = true;
+        } else {
+          StatusOr<ColumnRef> col = ParseColumnRef();
+          if (!col.ok()) return col.status();
+          item.column = *col;
+        }
+        s = Expect(TokenType::kRParen, ")");
+        if (!s.ok()) return s;
+      } else {
+        StatusOr<ColumnRef> col = ParseColumnRef();
+        if (!col.ok()) return col.status();
+        item.column = *col;
+      }
+      // Optional output alias (ignored).
+      if (MatchKeyword("AS")) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return Status::InvalidArgument("expected alias after AS");
+        }
+        Advance();
+      }
+      sel->items.push_back(std::move(item));
+      if (!Match(TokenType::kComma)) break;
+    }
+
+    Status s = ExpectKeyword("FROM");
+    if (!s.ok()) return s;
+
+    // FROM list with comma and JOIN..ON forms.
+    std::vector<ExprPtr> join_predicates;
+    while (true) {
+      StatusOr<TableRef> tr = ParseTableRef();
+      if (!tr.ok()) return tr.status();
+      sel->from.push_back(*tr);
+      if (Match(TokenType::kComma)) continue;
+      if (MatchKeyword("INNER")) {
+        s = ExpectKeyword("JOIN");
+        if (!s.ok()) return s;
+      } else if (!MatchKeyword("JOIN")) {
+        break;
+      }
+      StatusOr<TableRef> joined = ParseTableRef();
+      if (!joined.ok()) return joined.status();
+      sel->from.push_back(*joined);
+      s = ExpectKeyword("ON");
+      if (!s.ok()) return s;
+      StatusOr<ExprPtr> on = ParseExpr();
+      if (!on.ok()) return on.status();
+      join_predicates.push_back(std::move(*on));
+      // Allow chained JOIN clauses: loop continues.
+      if (Peek().IsKeyword("JOIN") || Peek().IsKeyword("INNER")) {
+        // Rewind-free: handled by loop head below.
+        // Fall through by continuing the while loop with a synthetic comma.
+        // The loop continues naturally because we re-enter on JOIN keywords.
+        // To do so, emulate: skip the table parse in the loop head by
+        // handling JOIN chains here.
+        while (Peek().IsKeyword("JOIN") || Peek().IsKeyword("INNER")) {
+          if (MatchKeyword("INNER")) {
+            s = ExpectKeyword("JOIN");
+            if (!s.ok()) return s;
+          } else {
+            MatchKeyword("JOIN");
+          }
+          StatusOr<TableRef> t2 = ParseTableRef();
+          if (!t2.ok()) return t2.status();
+          sel->from.push_back(*t2);
+          s = ExpectKeyword("ON");
+          if (!s.ok()) return s;
+          StatusOr<ExprPtr> on2 = ParseExpr();
+          if (!on2.ok()) return on2.status();
+          join_predicates.push_back(std::move(*on2));
+        }
+      }
+      break;
+    }
+
+    if (MatchKeyword("WHERE")) {
+      StatusOr<ExprPtr> where = ParseExpr();
+      if (!where.ok()) return where.status();
+      sel->where = std::move(*where);
+    }
+    // Fold ON predicates into WHERE as an AND.
+    if (!join_predicates.empty()) {
+      std::vector<ExprPtr> conj;
+      if (sel->where) conj.push_back(std::move(sel->where));
+      for (ExprPtr& p : join_predicates) conj.push_back(std::move(p));
+      sel->where =
+          conj.size() == 1 ? std::move(conj[0]) : Expr::MakeAnd(std::move(conj));
+    }
+
+    if (MatchKeyword("GROUP")) {
+      s = ExpectKeyword("BY");
+      if (!s.ok()) return s;
+      while (true) {
+        StatusOr<ColumnRef> col = ParseColumnRef();
+        if (!col.ok()) return col.status();
+        sel->group_by.push_back(*col);
+        if (!Match(TokenType::kComma)) break;
+      }
+    }
+    if (MatchKeyword("ORDER")) {
+      s = ExpectKeyword("BY");
+      if (!s.ok()) return s;
+      while (true) {
+        OrderByItem item;
+        StatusOr<ColumnRef> col = ParseColumnRef();
+        if (!col.ok()) return col.status();
+        item.column = *col;
+        if (MatchKeyword("DESC")) {
+          item.desc = true;
+        } else {
+          MatchKeyword("ASC");
+        }
+        sel->order_by.push_back(std::move(item));
+        if (!Match(TokenType::kComma)) break;
+      }
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kInteger) {
+        return Status::InvalidArgument("expected integer after LIMIT");
+      }
+      sel->limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    }
+
+    Statement stmt;
+    stmt.kind = StatementKind::kSelect;
+    stmt.select = std::move(sel);
+    return stmt;
+  }
+
+  StatusOr<Statement> ParseInsert() {
+    Advance();  // INSERT
+    Status s = ExpectKeyword("INTO");
+    if (!s.ok()) return s;
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected table name after INSERT INTO");
+    }
+    auto ins = std::make_unique<InsertStatement>();
+    ins->table = Advance().text;
+    if (Match(TokenType::kLParen)) {
+      while (true) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return Status::InvalidArgument("expected column name in list");
+        }
+        ins->columns.push_back(Advance().text);
+        if (!Match(TokenType::kComma)) break;
+      }
+      s = Expect(TokenType::kRParen, ")");
+      if (!s.ok()) return s;
+    }
+    s = ExpectKeyword("VALUES");
+    if (!s.ok()) return s;
+    while (true) {
+      s = Expect(TokenType::kLParen, "(");
+      if (!s.ok()) return s;
+      Row row;
+      while (true) {
+        StatusOr<Value> v = ParseLiteral();
+        if (!v.ok()) return v.status();
+        row.push_back(std::move(*v));
+        if (!Match(TokenType::kComma)) break;
+      }
+      s = Expect(TokenType::kRParen, ")");
+      if (!s.ok()) return s;
+      ins->rows.push_back(std::move(row));
+      if (!Match(TokenType::kComma)) break;
+    }
+    Statement stmt;
+    stmt.kind = StatementKind::kInsert;
+    stmt.insert = std::move(ins);
+    return stmt;
+  }
+
+  StatusOr<Statement> ParseUpdate() {
+    Advance();  // UPDATE
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected table name after UPDATE");
+    }
+    auto upd = std::make_unique<UpdateStatement>();
+    upd->table = Advance().text;
+    Status s = ExpectKeyword("SET");
+    if (!s.ok()) return s;
+    while (true) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Status::InvalidArgument("expected column name in SET");
+      }
+      std::string col = Advance().text;
+      if (Peek().type != TokenType::kOperator || Peek().text != "=") {
+        return Status::InvalidArgument("expected '=' in SET");
+      }
+      Advance();
+      StatusOr<Value> v = ParseLiteral();
+      if (!v.ok()) return v.status();
+      upd->assignments.emplace_back(std::move(col), std::move(*v));
+      if (!Match(TokenType::kComma)) break;
+    }
+    if (MatchKeyword("WHERE")) {
+      StatusOr<ExprPtr> where = ParseExpr();
+      if (!where.ok()) return where.status();
+      upd->where = std::move(*where);
+    }
+    Statement stmt;
+    stmt.kind = StatementKind::kUpdate;
+    stmt.update = std::move(upd);
+    return stmt;
+  }
+
+  StatusOr<Statement> ParseDelete() {
+    Advance();  // DELETE
+    Status s = ExpectKeyword("FROM");
+    if (!s.ok()) return s;
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected table name after DELETE FROM");
+    }
+    auto del = std::make_unique<DeleteStatement>();
+    del->table = Advance().text;
+    if (MatchKeyword("WHERE")) {
+      StatusOr<ExprPtr> where = ParseExpr();
+      if (!where.ok()) return where.status();
+      del->where = std::move(*where);
+    }
+    Statement stmt;
+    stmt.kind = StatementKind::kDelete;
+    stmt.del = std::move(del);
+    return stmt;
+  }
+
+  StatusOr<TableRef> ParseTableRef() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected table name near '" +
+                                     Peek().text + "'");
+    }
+    TableRef tr;
+    tr.table = Advance().text;
+    tr.alias = tr.table;
+    if (MatchKeyword("AS")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Status::InvalidArgument("expected alias after AS");
+      }
+      tr.alias = Advance().text;
+    } else if (Peek().type == TokenType::kIdentifier) {
+      tr.alias = Advance().text;  // implicit alias
+    }
+    return tr;
+  }
+
+  StatusOr<ColumnRef> ParseColumnRef() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected column name near '" +
+                                     Peek().text + "'");
+    }
+    std::string first = Advance().text;
+    if (Match(TokenType::kDot)) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Status::InvalidArgument("expected column after '.'");
+      }
+      return ColumnRef(std::move(first), Advance().text);
+    }
+    return ColumnRef(std::move(first));
+  }
+
+  StatusOr<Value> ParseLiteral() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger: {
+        Advance();
+        return Value(static_cast<int64_t>(
+            std::strtoll(t.text.c_str(), nullptr, 10)));
+      }
+      case TokenType::kFloat: {
+        Advance();
+        return Value(std::strtod(t.text.c_str(), nullptr));
+      }
+      case TokenType::kString: {
+        Advance();
+        return Value(t.text);
+      }
+      case TokenType::kKeyword:
+        if (t.text == "NULL") {
+          Advance();
+          return Value::Null();
+        }
+        break;
+      default:
+        break;
+    }
+    return Status::InvalidArgument("expected literal near '" + t.text + "'");
+  }
+
+  // expr := and_expr (OR and_expr)*
+  StatusOr<ExprPtr> ParseExpr() {
+    StatusOr<ExprPtr> lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    if (!Peek().IsKeyword("OR")) return lhs;
+    std::vector<ExprPtr> children;
+    children.push_back(std::move(*lhs));
+    while (MatchKeyword("OR")) {
+      StatusOr<ExprPtr> rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      children.push_back(std::move(*rhs));
+    }
+    return Expr::MakeOr(std::move(children));
+  }
+
+  // and_expr := not_expr (AND not_expr)*
+  StatusOr<ExprPtr> ParseAnd() {
+    StatusOr<ExprPtr> lhs = ParseNot();
+    if (!lhs.ok()) return lhs;
+    if (!Peek().IsKeyword("AND")) return lhs;
+    std::vector<ExprPtr> children;
+    children.push_back(std::move(*lhs));
+    while (MatchKeyword("AND")) {
+      StatusOr<ExprPtr> rhs = ParseNot();
+      if (!rhs.ok()) return rhs;
+      children.push_back(std::move(*rhs));
+    }
+    return Expr::MakeAnd(std::move(children));
+  }
+
+  StatusOr<ExprPtr> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      StatusOr<ExprPtr> child = ParseNot();
+      if (!child.ok()) return child;
+      return Expr::MakeNot(std::move(*child));
+    }
+    return ParsePrimary();
+  }
+
+  // primary := '(' expr ')' | operand predicate_tail
+  StatusOr<ExprPtr> ParsePrimary() {
+    if (Match(TokenType::kLParen)) {
+      StatusOr<ExprPtr> inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      Status s = Expect(TokenType::kRParen, ")");
+      if (!s.ok()) return s;
+      return inner;
+    }
+    // Operand: column ref or literal (rare on the left).
+    StatusOr<ExprPtr> operand = ParseOperand();
+    if (!operand.ok()) return operand;
+    return ParsePredicateTail(std::move(*operand));
+  }
+
+  StatusOr<ExprPtr> ParseOperand() {
+    const Token& t = Peek();
+    if (t.type == TokenType::kIdentifier) {
+      StatusOr<ColumnRef> col = ParseColumnRef();
+      if (!col.ok()) return col.status();
+      return Expr::MakeColumn(std::move(*col));
+    }
+    StatusOr<Value> v = ParseLiteral();
+    if (!v.ok()) return v.status();
+    return Expr::MakeLiteral(std::move(*v));
+  }
+
+  StatusOr<ExprPtr> ParsePredicateTail(ExprPtr operand) {
+    const Token& t = Peek();
+    if (t.type == TokenType::kOperator) {
+      const std::string op_text = Advance().text;
+      CompareOp op;
+      if (op_text == "=") {
+        op = CompareOp::kEq;
+      } else if (op_text == "<>") {
+        op = CompareOp::kNe;
+      } else if (op_text == "<") {
+        op = CompareOp::kLt;
+      } else if (op_text == "<=") {
+        op = CompareOp::kLe;
+      } else if (op_text == ">") {
+        op = CompareOp::kGt;
+      } else if (op_text == ">=") {
+        op = CompareOp::kGe;
+      } else {
+        return Status::InvalidArgument("unknown operator " + op_text);
+      }
+      StatusOr<ExprPtr> rhs = ParseOperand();
+      if (!rhs.ok()) return rhs;
+      return Expr::MakeCompare(op, std::move(operand), std::move(*rhs));
+    }
+    if (MatchKeyword("BETWEEN")) {
+      StatusOr<Value> lo = ParseLiteral();
+      if (!lo.ok()) return lo.status();
+      Status s = ExpectKeyword("AND");
+      if (!s.ok()) return s;
+      StatusOr<Value> hi = ParseLiteral();
+      if (!hi.ok()) return hi.status();
+      return Expr::MakeBetween(std::move(operand), std::move(*lo),
+                               std::move(*hi));
+    }
+    bool negated = false;
+    if (Peek().IsKeyword("NOT") &&
+        (Peek(1).IsKeyword("IN") || Peek(1).IsKeyword("LIKE"))) {
+      Advance();
+      negated = true;
+    }
+    if (MatchKeyword("IN")) {
+      Status s = Expect(TokenType::kLParen, "(");
+      if (!s.ok()) return s;
+      std::vector<Value> list;
+      while (true) {
+        StatusOr<Value> v = ParseLiteral();
+        if (!v.ok()) return v.status();
+        list.push_back(std::move(*v));
+        if (!Match(TokenType::kComma)) break;
+      }
+      s = Expect(TokenType::kRParen, ")");
+      if (!s.ok()) return s;
+      return Expr::MakeInList(std::move(operand), std::move(list), negated);
+    }
+    if (MatchKeyword("LIKE")) {
+      StatusOr<Value> pattern = ParseLiteral();
+      if (!pattern.ok()) return pattern.status();
+      ExprPtr like = Expr::MakeCompare(CompareOp::kLike, std::move(operand),
+                                       Expr::MakeLiteral(std::move(*pattern)));
+      if (negated) return Expr::MakeNot(std::move(like));
+      return like;
+    }
+    if (MatchKeyword("IS")) {
+      bool is_not = MatchKeyword("NOT");
+      Status s = ExpectKeyword("NULL");
+      if (!s.ok()) return s;
+      return Expr::MakeIsNull(std::move(operand), is_not);
+    }
+    return Status::InvalidArgument("expected predicate near '" + Peek().text +
+                                   "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Statement> ParseSql(const std::string& sql) {
+  StatusOr<std::vector<Token>> tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace autoindex

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "sql/statement.h"
+#include "util/status.h"
+
+namespace autoindex {
+
+// Parses one SQL statement. Supported grammar (case-insensitive):
+//
+//   SELECT {* | item[, ...]} FROM table [alias][, ...] | JOIN table ON expr
+//     [WHERE expr] [GROUP BY col[, ...]] [ORDER BY col [ASC|DESC][, ...]]
+//     [LIMIT n]
+//   INSERT INTO table [(cols)] VALUES (lits)[, (lits) ...]
+//   UPDATE table SET col = lit[, ...] [WHERE expr]
+//   DELETE FROM table [WHERE expr]
+//
+// Boolean expressions support AND/OR/NOT with parentheses, comparisons
+// (= <> < <= > >=, LIKE), BETWEEN, [NOT] IN (list), IS [NOT] NULL.
+// Join predicates (col = col across tables) may appear either in ON
+// clauses (merged into WHERE) or directly in WHERE.
+StatusOr<Statement> ParseSql(const std::string& sql);
+
+}  // namespace autoindex

@@ -1,0 +1,171 @@
+#include "sql/statement.h"
+
+#include "util/string_util.h"
+
+namespace autoindex {
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone:
+      return "";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "";
+}
+
+std::string SelectItem::ToString() const {
+  if (agg != AggFunc::kNone) {
+    return std::string(AggFuncName(agg)) + "(" +
+           (star ? "*" : column.ToString()) + ")";
+  }
+  if (star) return "*";
+  return column.ToString();
+}
+
+std::unique_ptr<SelectStatement> SelectStatement::Clone() const {
+  auto s = std::make_unique<SelectStatement>();
+  s->from = from;
+  s->items = items;
+  if (where) s->where = where->Clone();
+  s->group_by = group_by;
+  s->order_by = order_by;
+  s->limit = limit;
+  return s;
+}
+
+std::string SelectStatement::ToString() const {
+  std::vector<std::string> item_strs;
+  item_strs.reserve(items.size());
+  for (const SelectItem& it : items) item_strs.push_back(it.ToString());
+  std::string out = "SELECT " + Join(item_strs, ", ") + " FROM ";
+  std::vector<std::string> from_strs;
+  from_strs.reserve(from.size());
+  for (const TableRef& t : from) {
+    from_strs.push_back(t.alias == t.table ? t.table
+                                           : t.table + " AS " + t.alias);
+  }
+  out += Join(from_strs, ", ");
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    std::vector<std::string> cols;
+    cols.reserve(group_by.size());
+    for (const ColumnRef& c : group_by) cols.push_back(c.ToString());
+    out += " GROUP BY " + Join(cols, ", ");
+  }
+  if (!order_by.empty()) {
+    std::vector<std::string> cols;
+    cols.reserve(order_by.size());
+    for (const OrderByItem& o : order_by) {
+      cols.push_back(o.column.ToString() + (o.desc ? " DESC" : ""));
+    }
+    out += " ORDER BY " + Join(cols, ", ");
+  }
+  if (limit >= 0) out += StrFormat(" LIMIT %lld", static_cast<long long>(limit));
+  return out;
+}
+
+std::unique_ptr<InsertStatement> InsertStatement::Clone() const {
+  auto s = std::make_unique<InsertStatement>();
+  s->table = table;
+  s->columns = columns;
+  s->rows = rows;
+  return s;
+}
+
+std::string InsertStatement::ToString() const {
+  std::string out = "INSERT INTO " + table;
+  if (!columns.empty()) out += " (" + Join(columns, ", ") + ")";
+  out += " VALUES ";
+  std::vector<std::string> row_strs;
+  row_strs.reserve(rows.size());
+  for (const Row& r : rows) {
+    std::vector<std::string> vals;
+    vals.reserve(r.size());
+    for (const Value& v : r) vals.push_back(v.ToSqlLiteral());
+    row_strs.push_back("(" + Join(vals, ", ") + ")");
+  }
+  out += Join(row_strs, ", ");
+  return out;
+}
+
+std::unique_ptr<UpdateStatement> UpdateStatement::Clone() const {
+  auto s = std::make_unique<UpdateStatement>();
+  s->table = table;
+  s->assignments = assignments;
+  if (where) s->where = where->Clone();
+  return s;
+}
+
+std::string UpdateStatement::ToString() const {
+  std::string out = "UPDATE " + table + " SET ";
+  std::vector<std::string> sets;
+  sets.reserve(assignments.size());
+  for (const auto& [col, val] : assignments) {
+    sets.push_back(col + " = " + val.ToSqlLiteral());
+  }
+  out += Join(sets, ", ");
+  if (where) out += " WHERE " + where->ToString();
+  return out;
+}
+
+std::unique_ptr<DeleteStatement> DeleteStatement::Clone() const {
+  auto s = std::make_unique<DeleteStatement>();
+  s->table = table;
+  if (where) s->where = where->Clone();
+  return s;
+}
+
+std::string DeleteStatement::ToString() const {
+  std::string out = "DELETE FROM " + table;
+  if (where) out += " WHERE " + where->ToString();
+  return out;
+}
+
+Statement Statement::Clone() const {
+  Statement s;
+  s.kind = kind;
+  if (select) s.select = select->Clone();
+  if (insert) s.insert = insert->Clone();
+  if (update) s.update = update->Clone();
+  if (del) s.del = del->Clone();
+  return s;
+}
+
+std::string Statement::ToString() const {
+  switch (kind) {
+    case StatementKind::kSelect:
+      return select ? select->ToString() : "";
+    case StatementKind::kInsert:
+      return insert ? insert->ToString() : "";
+    case StatementKind::kUpdate:
+      return update ? update->ToString() : "";
+    case StatementKind::kDelete:
+      return del ? del->ToString() : "";
+  }
+  return "";
+}
+
+const Expr* Statement::where() const {
+  switch (kind) {
+    case StatementKind::kSelect:
+      return select ? select->where.get() : nullptr;
+    case StatementKind::kUpdate:
+      return update ? update->where.get() : nullptr;
+    case StatementKind::kDelete:
+      return del ? del->where.get() : nullptr;
+    case StatementKind::kInsert:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace autoindex

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sql/expr.h"
+#include "storage/value.h"
+
+namespace autoindex {
+
+// One entry in a FROM list. `alias` equals `table` when no alias was given.
+struct TableRef {
+  std::string table;
+  std::string alias;
+
+  TableRef() = default;
+  explicit TableRef(std::string t) : table(t), alias(std::move(t)) {}
+  TableRef(std::string t, std::string a)
+      : table(std::move(t)), alias(std::move(a)) {}
+};
+
+enum class AggFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc f);
+
+// A projection item: `*`, a plain column, or an aggregate over a column
+// (COUNT(*) has star==true and agg==kCount).
+struct SelectItem {
+  bool star = false;
+  AggFunc agg = AggFunc::kNone;
+  ColumnRef column;
+
+  std::string ToString() const;
+};
+
+struct OrderByItem {
+  ColumnRef column;
+  bool desc = false;
+};
+
+struct SelectStatement {
+  std::vector<TableRef> from;
+  std::vector<SelectItem> items;
+  ExprPtr where;  // may be null
+  std::vector<ColumnRef> group_by;
+  std::vector<OrderByItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+
+  std::unique_ptr<SelectStatement> Clone() const;
+  std::string ToString() const;
+};
+
+struct InsertStatement {
+  std::string table;
+  // Optional explicit column list; empty means full-schema order.
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  std::unique_ptr<InsertStatement> Clone() const;
+  std::string ToString() const;
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::vector<std::pair<std::string, Value>> assignments;
+  ExprPtr where;  // may be null
+
+  std::unique_ptr<UpdateStatement> Clone() const;
+  std::string ToString() const;
+};
+
+struct DeleteStatement {
+  std::string table;
+  ExprPtr where;  // may be null
+
+  std::unique_ptr<DeleteStatement> Clone() const;
+  std::string ToString() const;
+};
+
+enum class StatementKind { kSelect, kInsert, kUpdate, kDelete };
+
+// A parsed SQL statement: exactly one of the four pointers is set,
+// matching `kind`.
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+  std::unique_ptr<SelectStatement> select;
+  std::unique_ptr<InsertStatement> insert;
+  std::unique_ptr<UpdateStatement> update;
+  std::unique_ptr<DeleteStatement> del;
+
+  bool IsWrite() const { return kind != StatementKind::kSelect; }
+
+  Statement Clone() const;
+  std::string ToString() const;
+
+  // The WHERE expression of the statement (nullptr for inserts or when
+  // absent).
+  const Expr* where() const;
+};
+
+}  // namespace autoindex

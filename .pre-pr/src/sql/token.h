@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+namespace autoindex {
+
+enum class TokenType {
+  kIdentifier,  // table/column names (lowercased)
+  kKeyword,     // SQL keywords (uppercased)
+  kInteger,
+  kFloat,
+  kString,      // quoted literal, quotes stripped
+  kOperator,    // = <> != < <= > >=
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // normalized spelling
+  size_t offset = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+};
+
+}  // namespace autoindex

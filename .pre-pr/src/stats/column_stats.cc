@@ -1,0 +1,154 @@
+#include "stats/column_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autoindex {
+
+ColumnStats ColumnStats::Build(const HeapTable& table, size_t ordinal,
+                               size_t num_buckets) {
+  ColumnStats stats;
+  std::vector<Value> values;
+  values.reserve(table.num_rows());
+  // Accumulators for physical-order correlation (numeric columns).
+  double sum_x = 0, sum_y = 0, sum_xx = 0, sum_yy = 0, sum_xy = 0;
+  size_t numeric_n = 0;
+  table.Scan([&](RowId, const Row& row) {
+    const Value& v = row[ordinal];
+    ++stats.num_rows_;
+    if (v.is_null()) {
+      ++stats.num_nulls_;
+    } else {
+      if (v.type() != ValueType::kString) {
+        const double x = static_cast<double>(numeric_n);
+        const double y = v.AsDouble();
+        sum_x += x;
+        sum_y += y;
+        sum_xx += x * x;
+        sum_yy += y * y;
+        sum_xy += x * y;
+        ++numeric_n;
+      }
+      values.push_back(v);
+    }
+  });
+  if (numeric_n > 2) {
+    const double n = static_cast<double>(numeric_n);
+    const double cov = sum_xy - sum_x * sum_y / n;
+    const double var_x = sum_xx - sum_x * sum_x / n;
+    const double var_y = sum_yy - sum_y * sum_y / n;
+    if (var_x > 1e-12 && var_y > 1e-12) {
+      stats.correlation_ =
+          std::clamp(cov / std::sqrt(var_x * var_y), -1.0, 1.0);
+    }
+  }
+  if (values.empty()) return stats;
+
+  std::sort(values.begin(), values.end(),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  stats.min_ = values.front();
+  stats.max_ = values.back();
+
+  size_t distinct = 1;
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i].Compare(values[i - 1]) != 0) ++distinct;
+  }
+  stats.num_distinct_ = distinct;
+
+  const size_t buckets = std::max<size_t>(1, std::min(num_buckets,
+                                                      values.size()));
+  stats.bucket_bounds_.reserve(buckets);
+  for (size_t b = 1; b <= buckets; ++b) {
+    const size_t idx =
+        std::min(values.size() - 1, b * values.size() / buckets);
+    stats.bucket_bounds_.push_back(
+        values[idx == 0 ? 0 : idx - (b == buckets ? 0 : 0)]);
+  }
+  // Ensure the last bound is the max.
+  stats.bucket_bounds_.back() = stats.max_;
+  return stats;
+}
+
+double ColumnStats::FractionBelow(const Value& v) const {
+  const size_t non_null = num_rows_ - num_nulls_;
+  if (non_null == 0 || bucket_bounds_.empty()) return 0.0;
+  if (v.Compare(min_) <= 0) return 0.0;
+  if (v.Compare(max_) > 0) return 1.0;
+  // Count full buckets whose upper bound is below v; interpolate within
+  // the straddling bucket using value distance when numeric.
+  size_t full = 0;
+  while (full < bucket_bounds_.size() &&
+         bucket_bounds_[full].Compare(v) < 0) {
+    ++full;
+  }
+  double frac = static_cast<double>(full) / bucket_bounds_.size();
+  if (full < bucket_bounds_.size()) {
+    const Value& hi = bucket_bounds_[full];
+    const Value& lo = (full == 0) ? min_ : bucket_bounds_[full - 1];
+    if (v.type() != ValueType::kString && lo.type() != ValueType::kString &&
+        hi.type() != ValueType::kString && !lo.is_null() && !hi.is_null()) {
+      const double lo_d = lo.AsDouble();
+      const double hi_d = hi.AsDouble();
+      if (hi_d > lo_d) {
+        double t = (v.AsDouble() - lo_d) / (hi_d - lo_d);
+        t = std::clamp(t, 0.0, 1.0);
+        frac += t / bucket_bounds_.size();
+      }
+    } else {
+      frac += 0.5 / bucket_bounds_.size();  // string straddle: midpoint
+    }
+  }
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+double ColumnStats::EqSelectivity() const {
+  if (num_rows_ == 0) return 0.0;
+  if (num_distinct_ == 0) return 0.0;
+  return 1.0 / static_cast<double>(num_distinct_);
+}
+
+double ColumnStats::Selectivity(CompareOp op, const Value& v) const {
+  if (num_rows_ == 0) return 0.0;
+  const double non_null_frac =
+      static_cast<double>(num_rows_ - num_nulls_) / num_rows_;
+  switch (op) {
+    case CompareOp::kEq:
+      if (v.Compare(min_) < 0 || v.Compare(max_) > 0) return 0.0;
+      return EqSelectivity() * non_null_frac;
+    case CompareOp::kNe:
+      return (1.0 - EqSelectivity()) * non_null_frac;
+    case CompareOp::kLt:
+      return FractionBelow(v) * non_null_frac;
+    case CompareOp::kLe:
+      return std::min(1.0, FractionBelow(v) + EqSelectivity()) *
+             non_null_frac;
+    case CompareOp::kGt:
+      return (1.0 - std::min(1.0, FractionBelow(v) + EqSelectivity())) *
+             non_null_frac;
+    case CompareOp::kGe:
+      return (1.0 - FractionBelow(v)) * non_null_frac;
+    case CompareOp::kLike:
+      // Leading-wildcard-free patterns behave like a narrow range; use a
+      // fixed heuristic as classical optimizers do.
+      return 0.05 * non_null_frac;
+  }
+  return 0.33;
+}
+
+double ColumnStats::RangeSelectivity(const Value& lo, const Value& hi) const {
+  if (num_rows_ == 0) return 0.0;
+  if (hi.Compare(lo) < 0) return 0.0;
+  const double non_null_frac =
+      static_cast<double>(num_rows_ - num_nulls_) / num_rows_;
+  const double below_hi = std::min(1.0, FractionBelow(hi) + EqSelectivity());
+  const double below_lo = FractionBelow(lo);
+  return std::clamp(below_hi - below_lo, 0.0, 1.0) * non_null_frac;
+}
+
+double ColumnStats::InListSelectivity(const std::vector<Value>& list) const {
+  double sel = 0.0;
+  for (const Value& v : list) sel += Selectivity(CompareOp::kEq, v);
+  return std::min(1.0, sel);
+}
+
+}  // namespace autoindex

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sql/expr.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace autoindex {
+
+// Per-column statistics gathered by ANALYZE: row/NULL counts, distinct
+// estimate, min/max and an equi-depth histogram. These drive selectivity
+// estimation in the what-if planner.
+class ColumnStats {
+ public:
+  ColumnStats() = default;
+
+  // Builds stats by scanning the column `ordinal` of `table`.
+  // `num_buckets` bounds the histogram resolution.
+  static ColumnStats Build(const HeapTable& table, size_t ordinal,
+                           size_t num_buckets = 32);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_nulls() const { return num_nulls_; }
+  size_t num_distinct() const { return num_distinct_; }
+  const Value& min() const { return min_; }
+  const Value& max() const { return max_; }
+
+  // Pearson correlation in [-1, 1] between physical row order and column
+  // value (pg_stats.correlation). |corr| ≈ 1 means an index range scan
+  // touches contiguous heap pages; the planner blends heap-fetch costs
+  // between the clustered and random extremes with corr². 0 for
+  // non-numeric columns.
+  double correlation() const { return correlation_; }
+
+  // Fraction of rows satisfying `col <op> v`, in [0, 1].
+  double Selectivity(CompareOp op, const Value& v) const;
+
+  // Fraction of rows with lo <= col <= hi.
+  double RangeSelectivity(const Value& lo, const Value& hi) const;
+
+  // Fraction for `col IN (list)` (capped at 1).
+  double InListSelectivity(const std::vector<Value>& list) const;
+
+  // 1/num_distinct — the default equality selectivity.
+  double EqSelectivity() const;
+
+ private:
+  // Fraction of non-null rows strictly below v (histogram interpolation).
+  double FractionBelow(const Value& v) const;
+
+  size_t num_rows_ = 0;
+  size_t num_nulls_ = 0;
+  size_t num_distinct_ = 0;
+  double correlation_ = 0.0;
+  Value min_;
+  Value max_;
+  // Equi-depth bucket upper bounds (ascending); each bucket holds
+  // ~num_non_null/buckets rows.
+  std::vector<Value> bucket_bounds_;
+};
+
+}  // namespace autoindex

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sql/expr.h"
+#include "stats/column_stats.h"
+#include "storage/catalog.h"
+
+namespace autoindex {
+
+// Caches per-table, per-column statistics and estimates predicate
+// selectivities. Stats go stale as tables mutate; callers re-ANALYZE via
+// Invalidate()/Analyze() (the workload runner does this between rounds).
+class StatsManager {
+ public:
+  explicit StatsManager(Catalog* catalog) : catalog_(catalog) {}
+
+  StatsManager(const StatsManager&) = delete;
+  StatsManager& operator=(const StatsManager&) = delete;
+
+  // (Re)builds statistics for one table.
+  void Analyze(const std::string& table);
+  // (Re)builds statistics for every table in the catalog.
+  void AnalyzeAll();
+  void Invalidate(const std::string& table);
+
+  // Stats for a column; builds them lazily on first access. Returns
+  // nullptr when the table/column does not exist.
+  const ColumnStats* GetColumnStats(const std::string& table,
+                                    const std::string& column);
+
+  // Estimated fraction of `table` rows satisfying the boolean expression.
+  // ANDs multiply (independence), ORs combine via inclusion-exclusion,
+  // NOT complements. Predicates naming other tables are ignored (treated
+  // as selectivity 1 for this table).
+  double EstimateSelectivity(const Expr& expr, const std::string& table,
+                             const std::string& alias = "");
+
+  // Selectivity of a single atomic predicate against `table`.
+  double AtomSelectivity(const Expr& atom, const std::string& table,
+                         const std::string& alias = "");
+
+ private:
+  Catalog* catalog_;
+  // table -> column -> stats
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, ColumnStats>>
+      cache_;
+};
+
+}  // namespace autoindex

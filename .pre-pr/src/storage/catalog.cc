@@ -1,0 +1,52 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace autoindex {
+
+StatusOr<HeapTable*> Catalog::CreateTable(const std::string& name,
+                                          Schema schema) {
+  const std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table exists: " + key);
+  }
+  auto table = std::make_unique<HeapTable>(key, std::move(schema));
+  HeapTable* ptr = table.get();
+  tables_.emplace(key, std::move(table));
+  return ptr;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return Status::Ok();
+}
+
+HeapTable* Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const HeapTable* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t Catalog::TotalHeapBytes() const {
+  size_t total = 0;
+  for (const auto& [_, table] : tables_) total += table->SizeBytes();
+  return total;
+}
+
+}  // namespace autoindex

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace autoindex {
+
+// Owns all tables of one database instance. Table names are
+// case-insensitive.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // Creates an empty table; fails if the name is taken.
+  StatusOr<HeapTable*> CreateTable(const std::string& name, Schema schema);
+
+  Status DropTable(const std::string& name);
+
+  // nullptr when absent.
+  HeapTable* GetTable(const std::string& name);
+  const HeapTable* GetTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+  // Sum of heap bytes across all tables (excludes indexes).
+  size_t TotalHeapBytes() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<HeapTable>> tables_;
+};
+
+}  // namespace autoindex

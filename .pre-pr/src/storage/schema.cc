@@ -1,0 +1,30 @@
+#include "storage/schema.h"
+
+#include "util/string_util.h"
+
+namespace autoindex {
+
+namespace {
+constexpr size_t kTupleHeaderBytes = 24;
+}  // namespace
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (Column& c : columns_) c.name = ToLower(c.name);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    by_name_.emplace(columns_[i].name, static_cast<int>(i));
+  }
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  auto it = by_name_.find(ToLower(name));
+  if (it == by_name_.end()) return -1;
+  return it->second;
+}
+
+size_t Schema::EstimatedRowBytes() const {
+  size_t bytes = kTupleHeaderBytes;
+  for (const Column& c : columns_) bytes += c.avg_width;
+  return bytes;
+}
+
+}  // namespace autoindex

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace autoindex {
+
+// A named, typed column. `avg_width` is used for page accounting of string
+// columns whose width is not known up front.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt;
+  size_t avg_width = 8;
+
+  Column() = default;
+  Column(std::string n, ValueType t) : name(std::move(n)), type(t) {
+    avg_width = (t == ValueType::kString) ? 16 : 8;
+  }
+  Column(std::string n, ValueType t, size_t w)
+      : name(std::move(n)), type(t), avg_width(w) {}
+};
+
+// Ordered column list for one table. Column names are case-insensitive and
+// stored lowercased.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Returns the ordinal of a (lowercased) column name, or -1 if absent.
+  int FindColumn(const std::string& name) const;
+  bool HasColumn(const std::string& name) const { return FindColumn(name) >= 0; }
+
+  // Estimated bytes of one row under this schema (per-column avg widths plus
+  // a fixed tuple header, mirroring heap tuple layout).
+  size_t EstimatedRowBytes() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace autoindex

@@ -1,0 +1,138 @@
+#include "storage/value.h"
+
+#include <functional>
+
+#include "util/string_util.h"
+
+namespace autoindex {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+ValueType Value::type() const {
+  if (std::holds_alternative<std::monostate>(data_)) return ValueType::kNull;
+  if (std::holds_alternative<int64_t>(data_)) return ValueType::kInt;
+  if (std::holds_alternative<double>(data_)) return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+double Value::AsDouble() const {
+  if (std::holds_alternative<int64_t>(data_)) {
+    return static_cast<double>(std::get<int64_t>(data_));
+  }
+  return std::get<double>(data_);
+}
+
+int Value::Compare(const Value& other) const {
+  const bool a_null = is_null();
+  const bool b_null = other.is_null();
+  if (a_null && b_null) return 0;
+  if (a_null) return -1;
+  if (b_null) return 1;
+
+  const bool a_num = type() != ValueType::kString;
+  const bool b_num = other.type() != ValueType::kString;
+  if (a_num && b_num) {
+    const double a = AsDouble();
+    const double b = other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (a_num != b_num) return a_num ? -1 : 1;  // numbers sort before strings
+  return AsString().compare(other.AsString()) < 0
+             ? -1
+             : (AsString() == other.AsString() ? 0 : 1);
+}
+
+size_t Value::ByteSize() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 8;
+    case ValueType::kString:
+      return AsString().size() + 4;  // length header
+  }
+  return 8;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b9;
+    case ValueType::kInt:
+      return std::hash<int64_t>()(AsInt());
+    case ValueType::kDouble: {
+      const double d = AsDouble();
+      // Hash integral doubles like their int counterparts so mixed-type
+      // equality keys land in the same bucket.
+      const int64_t as_int = static_cast<int64_t>(d);
+      if (static_cast<double>(as_int) == d) return std::hash<int64_t>()(as_int);
+      return std::hash<double>()(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble:
+      return StrFormat("%g", AsDouble());
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (type() == ValueType::kString) {
+    std::string out = "'";
+    for (char c : AsString()) {
+      if (c == '\'') out += "''";
+      else out.push_back(c);
+    }
+    out += "'";
+    return out;
+  }
+  return ToString();
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 0x345678;
+  for (const Value& v : row) {
+    h = h * 1000003 ^ v.Hash();
+  }
+  return h;
+}
+
+int CompareRows(const Row& a, const Row& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() < b.size()) return -1;
+  if (a.size() > b.size()) return 1;
+  return 0;
+}
+
+}  // namespace autoindex

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace autoindex {
+
+// Column/value types supported by the engine. kNull is the type of the SQL
+// NULL literal; typed columns may still hold null cells.
+enum class ValueType {
+  kNull = 0,
+  kInt,     // 64-bit signed integer
+  kDouble,  // IEEE double
+  kString,  // variable-length UTF-8/ASCII string
+};
+
+const char* ValueTypeName(ValueType type);
+
+// A single typed cell. Values order NULL first, then by numeric/lexical
+// value; ints and doubles compare numerically against each other so that a
+// predicate `x > 3` works on a double column.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+
+  // Accessors; behavior is undefined if the type does not match (the engine
+  // always checks type() first or relies on schema typing).
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const;
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  // Total ordering: NULL < ints/doubles (numeric) < strings (lexical).
+  // Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  // Approximate in-memory footprint used for page accounting.
+  size_t ByteSize() const;
+
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+  // Renders as a SQL literal (strings quoted, NULL spelled out).
+  std::string ToSqlLiteral() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+using Row = std::vector<Value>;
+
+// Hash of a composite key; order-sensitive.
+size_t HashRow(const Row& row);
+
+// Lexicographic comparison of two rows (shorter row is a prefix-smaller).
+int CompareRows(const Row& a, const Row& b);
+
+}  // namespace autoindex

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace autoindex {
+
+// Deterministic pseudo-random generator (xorshift128+). Every workload
+// generator and the MCTS rollout policy draw from an explicitly seeded
+// instance so that experiments are reproducible bit-for-bit.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    s0_ = seed ^ 0x2545f4914f6cdd1dULL;
+    s1_ = seed * 0x9e3779b97f4a7c15ULL + 1;
+    // Warm up so that small seeds diverge quickly.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Skewed integer in [0, n): item 0 is the most popular. A polynomial
+  // transform of the uniform (u^k) approximating Zipf-style hot keys:
+  // with the default theta the first decile draws ~45% of the mass.
+  uint64_t Skewed(uint64_t n, double theta = 0.8) {
+    if (n <= 1) return 0;
+    const double u = NextDouble();
+    const double k = 1.0 + 2.5 * theta;  // theta=0.8 -> exponent 3
+    double frac = __builtin_pow(u, k);
+    if (frac >= 1) frac = 0.999999;
+    return static_cast<uint64_t>(frac * static_cast<double>(n));
+  }
+
+  // Random lowercase identifier of the given length.
+  std::string NextName(int len) {
+    std::string s;
+    s.reserve(len);
+    for (int i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + Uniform(26)));
+    }
+    return s;
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace autoindex

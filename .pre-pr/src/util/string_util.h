@@ -1,0 +1,39 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autoindex {
+
+// ASCII-only lowering; SQL identifiers and keywords in this project are
+// ASCII by construction.
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+// Joins the parts with the separator: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Splits on a single character, dropping empty fragments.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Concatenates ostream-able parts: StrCat("n=", 7, "!") == "n=7!". Used
+// for diagnostics where the argument list is heterogeneous and StrFormat's
+// format string would be all placeholders.
+template <typename... Args>
+std::string StrCat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+}  // namespace autoindex

@@ -1,0 +1,217 @@
+#include "workload/banking.h"
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace autoindex {
+
+std::string BankingWorkload::TableName(int i) {
+  return StrFormat("bank_t%03d", i);
+}
+
+void BankingWorkload::Populate(Database* db, const BankingConfig& config) {
+  Random rng(config.seed);
+  for (int t = 0; t < config.num_tables; ++t) {
+    // Every table shares the account-ish layout; the workload only knows
+    // about a hot subset.
+    CheckOk(db->CreateTable(TableName(t),
+                            Schema({{"id", ValueType::kInt},
+                                    {"cust_id", ValueType::kInt},
+                                    {"branch_id", ValueType::kInt},
+                                    {"amount", ValueType::kDouble},
+                                    {"status", ValueType::kInt},
+                                    {"ts", ValueType::kInt},
+                                    {"category", ValueType::kInt},
+                                    {"note", ValueType::kString, 20}})));
+    const int rows = t < config.hot_tables ? config.rows_hot
+                                           : config.rows_cold;
+    std::vector<Row> data;
+    data.reserve(rows);
+    for (int i = 0; i < rows; ++i) {
+      data.push_back({Value(int64_t(i)),
+                      Value(int64_t(rng.Uniform(rows / 2 + 1))),
+                      Value(int64_t(rng.Uniform(50))),
+                      Value(rng.NextDouble() * 10000.0),
+                      Value(int64_t(rng.Uniform(5))),
+                      Value(int64_t(rng.Uniform(100000))),
+                      Value(int64_t(rng.Uniform(20))),
+                      Value(rng.NextName(12))});
+    }
+    CheckOk(db->BulkInsert(TableName(t), std::move(data)));
+  }
+  db->Analyze();
+}
+
+std::vector<IndexDef> BankingWorkload::ManualIndexes(
+    const BankingConfig& config) {
+  // The DBA estate: a handful of genuinely useful indexes on hot tables,
+  // then layer after layer of redundancy — prefix duplicates, permuted
+  // column orders, and indexes on cold tables nothing ever queries.
+  std::vector<IndexDef> defs;
+  Random rng(config.seed ^ 0xbeef);
+  const char* cols[] = {"id", "cust_id", "branch_id", "amount",
+                        "status", "ts", "category"};
+  int t = 0;
+  while (static_cast<int>(defs.size()) < config.manual_indexes) {
+    const std::string table = TableName(t % config.num_tables);
+    switch (static_cast<int>(defs.size()) % 7) {
+      case 0:
+        defs.push_back(IndexDef(table, {"id"}));
+        break;
+      case 1:
+        defs.push_back(IndexDef(table, {"cust_id"}));
+        break;
+      case 2:  // prefix-redundant with case 1
+        defs.push_back(IndexDef(table, {"cust_id", "branch_id"}));
+        break;
+      case 3:  // permuted duplicate of case 2
+        defs.push_back(IndexDef(table, {"branch_id", "cust_id"}));
+        break;
+      case 4:
+        defs.push_back(IndexDef(table, {std::string(cols[rng.Uniform(7)])}));
+        break;
+      case 5:
+        defs.push_back(IndexDef(table, {"status", "category"}));
+        break;
+      case 6:
+        defs.push_back(IndexDef(
+            table, {std::string(cols[rng.Uniform(7)]),
+                    std::string(cols[rng.Uniform(7)])}));
+        break;
+    }
+    ++t;
+  }
+  // Dedup exact duplicates produced by the random picks (keeps the count
+  // close to, possibly slightly under, the target).
+  std::vector<IndexDef> unique;
+  for (IndexDef& def : defs) {
+    bool dup = false;
+    if (def.columns.size() == 2 && def.columns[0] == def.columns[1]) {
+      def.columns.resize(1);
+    }
+    for (const IndexDef& u : unique) {
+      if (u == def) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) unique.push_back(std::move(def));
+  }
+  return unique;
+}
+
+void BankingWorkload::CreateManualIndexes(Database* db,
+                                          const BankingConfig& config) {
+  for (const IndexDef& def : ManualIndexes(config)) {
+    CheckOk(db->CreateIndex(def));
+  }
+}
+
+std::vector<std::string> BankingWorkload::WithdrawalService(
+    const BankingConfig& config, size_t count, uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count);
+  // Withdrawals concentrate on the first few hot tables (accounts,
+  // balances, journal).
+  const int acct_tables = std::max(1, config.hot_tables / 3);
+  for (size_t i = 0; i < count; ++i) {
+    const std::string table =
+        TableName(static_cast<int>(rng.Uniform(acct_tables)));
+    const uint64_t id = rng.Skewed(config.rows_hot);
+    const int kind = static_cast<int>(rng.Uniform(100));
+    if (kind < 45) {
+      out.push_back(StrFormat(
+          "SELECT amount, status FROM %s WHERE id = %llu",
+          table.c_str(), (unsigned long long)id));
+    } else if (kind < 70) {
+      out.push_back(StrFormat(
+          "SELECT id, amount FROM %s WHERE cust_id = %llu AND status = %llu",
+          table.c_str(), (unsigned long long)rng.Skewed(config.rows_hot / 2),
+          (unsigned long long)rng.Uniform(5)));
+    } else if (kind < 90) {
+      out.push_back(StrFormat(
+          "UPDATE %s SET amount = %.2f WHERE id = %llu", table.c_str(),
+          rng.NextDouble() * 10000, (unsigned long long)id));
+    } else {
+      // Journal insert into a dedicated hot table.
+      out.push_back(StrFormat(
+          "INSERT INTO %s VALUES (%llu, %llu, %llu, %.2f, %llu, %llu, %llu, "
+          "'%s')",
+          TableName(acct_tables).c_str(),
+          (unsigned long long)(config.rows_hot + i),
+          (unsigned long long)rng.Uniform(config.rows_hot / 2),
+          (unsigned long long)rng.Uniform(50), rng.NextDouble() * 500,
+          (unsigned long long)rng.Uniform(5),
+          (unsigned long long)rng.Uniform(100000),
+          (unsigned long long)rng.Uniform(20), rng.NextName(8).c_str()));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> BankingWorkload::SummarizationService(
+    const BankingConfig& config, size_t count, uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count);
+  const int lo = std::max(1, config.hot_tables / 3);
+  const int hi = config.hot_tables;
+  for (size_t i = 0; i < count; ++i) {
+    const std::string table = TableName(
+        lo + static_cast<int>(rng.Uniform(std::max(1, hi - lo))));
+    const int kind = static_cast<int>(rng.Uniform(100));
+    if (kind < 35) {
+      out.push_back(StrFormat(
+          "SELECT branch_id, SUM(amount), COUNT(*) FROM %s WHERE ts "
+          "BETWEEN %llu AND %llu GROUP BY branch_id ORDER BY branch_id",
+          table.c_str(), (unsigned long long)rng.Uniform(50000),
+          (unsigned long long)(50000 + rng.Uniform(50000))));
+    } else if (kind < 60) {
+      out.push_back(StrFormat(
+          "SELECT status, AVG(amount) FROM %s WHERE branch_id = %llu GROUP "
+          "BY status",
+          table.c_str(), (unsigned long long)rng.Uniform(50)));
+    } else if (kind < 85) {
+      out.push_back(StrFormat(
+          "SELECT COUNT(*) FROM %s WHERE amount > %.2f AND category = %llu",
+          table.c_str(), 9000.0 + rng.NextDouble() * 900.0,
+          (unsigned long long)rng.Uniform(20)));
+    } else {
+      out.push_back(StrFormat(
+          "SELECT category, MAX(amount) FROM %s WHERE status = %llu AND ts "
+          "> %llu GROUP BY category ORDER BY category LIMIT 10",
+          table.c_str(), (unsigned long long)rng.Uniform(5),
+          (unsigned long long)(80000 + rng.Uniform(20000))));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> BankingWorkload::HybridService(
+    const BankingConfig& config, size_t count, uint64_t seed) {
+  // Withdrawal-heavy hybrid, matching the paper's throughput split
+  // (withdrawal tps >> summarization tps).
+  std::vector<std::string> withdraw =
+      WithdrawalService(config, count * 7 / 10, seed);
+  std::vector<std::string> summarize =
+      SummarizationService(config, count - withdraw.size(), seed ^ 0x5u);
+  std::vector<std::string> out;
+  out.reserve(count);
+  Random rng(seed ^ 0x99u);
+  size_t wi = 0, si = 0;
+  while (wi < withdraw.size() || si < summarize.size()) {
+    const bool take_withdraw =
+        si >= summarize.size() ||
+        (wi < withdraw.size() && rng.Bernoulli(0.7));
+    if (take_withdraw) {
+      out.push_back(std::move(withdraw[wi++]));
+    } else {
+      out.push_back(std::move(summarize[si++]));
+    }
+  }
+  return out;
+}
+
+}  // namespace autoindex

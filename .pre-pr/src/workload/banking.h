@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace autoindex {
+
+// Synthetic stand-in for the paper's proprietary banking scenario
+// (Sec. VI-A: 144 tables, ~1G data, a summarization service (OLAP) and a
+// withdrawal-flow service (OLTP), and a DBA-crafted index estate with
+// heavy redundancy — 263 indexes on the withdraw business, Fig. 1).
+//
+// The generator reproduces the *conditions* of the experiments: a large
+// multi-table schema where only a few tables are hot, and a manual index
+// set dominated by unused/duplicated/prefix-redundant indexes.
+struct BankingConfig {
+  int num_tables = 144;
+  // Hot tables actually touched by the two services.
+  int hot_tables = 12;
+  int rows_hot = 4000;
+  int rows_cold = 300;
+  // Manual indexes created by "DBAs" (mostly redundant).
+  int manual_indexes = 263;
+  uint64_t seed = 20220503;
+};
+
+class BankingWorkload {
+ public:
+  static void Populate(Database* db, const BankingConfig& config);
+
+  // The DBA-crafted index estate (Fig. 1 / Table II "Default").
+  static std::vector<IndexDef> ManualIndexes(const BankingConfig& config);
+  static void CreateManualIndexes(Database* db, const BankingConfig& config);
+
+  // Withdrawal-flow service: OLTP point lookups + balance updates +
+  // journal inserts over the hot tables.
+  static std::vector<std::string> WithdrawalService(
+      const BankingConfig& config, size_t count, uint64_t seed);
+
+  // Summarization service: OLAP aggregates over branches/status/windows.
+  static std::vector<std::string> SummarizationService(
+      const BankingConfig& config, size_t count, uint64_t seed);
+
+  // The hybrid workload of both services (paper Table II).
+  static std::vector<std::string> HybridService(const BankingConfig& config,
+                                                size_t count, uint64_t seed);
+
+  static std::string TableName(int i);
+};
+
+}  // namespace autoindex

@@ -1,0 +1,106 @@
+#include "workload/epidemic.h"
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace autoindex {
+namespace {
+
+std::string PersonName(uint64_t i) {
+  return StrFormat("person_%06llu", (unsigned long long)i);
+}
+
+}  // namespace
+
+void EpidemicWorkload::Populate(Database* db, const EpidemicConfig& config) {
+  Random rng(config.seed);
+  CheckOk(db->CreateTable("people", Schema({{"name", ValueType::kString, 16},
+                                            {"community", ValueType::kInt},
+                                            {"temperature", ValueType::kDouble},
+                                            {"phone", ValueType::kInt},
+                                            {"tested", ValueType::kInt}})));
+  std::vector<Row> rows;
+  rows.reserve(config.people);
+  for (int i = 0; i < config.people; ++i) {
+    rows.push_back({Value(PersonName(i)),
+                    Value(int64_t(rng.Uniform(config.communities))),
+                    Value(36.0 + rng.NextDouble() * 4.0),
+                    Value(int64_t(rng.Uniform(10000000))),
+                    Value(int64_t(rng.Bernoulli(0.2) ? 1 : 0))});
+  }
+  CheckOk(db->BulkInsert("people", std::move(rows)));
+  db->Analyze();
+}
+
+std::vector<std::string> EpidemicWorkload::PhaseW1(
+    const EpidemicConfig& config, size_t count, uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (rng.Bernoulli(0.5)) {
+      out.push_back(StrFormat(
+          "SELECT name, temperature FROM people WHERE community = %llu",
+          (unsigned long long)rng.Uniform(config.communities)));
+    } else {
+      out.push_back(StrFormat(
+          "SELECT name, community FROM people WHERE temperature > %.1f",
+          38.5 + rng.NextDouble() * 1.2));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> EpidemicWorkload::PhaseW2(
+    const EpidemicConfig& config, size_t count, uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (rng.Bernoulli(0.8)) {
+      out.push_back(StrFormat(
+          "INSERT INTO people VALUES ('%s', %llu, %.1f, %llu, 0)",
+          PersonName(1000000 + seed * 1000 + i).c_str(),
+          (unsigned long long)rng.Uniform(config.communities),
+          36.0 + rng.NextDouble() * 4.0,
+          (unsigned long long)rng.Uniform(10000000)));
+    } else {
+      out.push_back(StrFormat(
+          "SELECT name FROM people WHERE temperature > %.1f",
+          38.5 + rng.NextDouble() * 1.2));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> EpidemicWorkload::PhaseW3(
+    const EpidemicConfig& config, size_t count, uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const int kind = static_cast<int>(rng.Uniform(100));
+    if (kind < 60) {
+      out.push_back(StrFormat(
+          "UPDATE people SET temperature = %.1f WHERE name = '%s' AND "
+          "community = %llu",
+          36.0 + rng.NextDouble() * 3.0,
+          PersonName(rng.Uniform(config.people)).c_str(),
+          (unsigned long long)rng.Uniform(config.communities)));
+    } else if (kind < 85) {
+      out.push_back(StrFormat(
+          "SELECT name FROM people WHERE temperature > %.1f",
+          38.0 + rng.NextDouble() * 1.5));
+    } else {
+      out.push_back(StrFormat(
+          "SELECT temperature FROM people WHERE name = '%s' AND community "
+          "= %llu",
+          PersonName(rng.Uniform(config.people)).c_str(),
+          (unsigned long long)rng.Uniform(config.communities)));
+    }
+  }
+  return out;
+}
+
+}  // namespace autoindex

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace autoindex {
+
+// The paper's running example (Fig. 2): an epidemic-tracking table whose
+// workload moves through three phases with different index needs:
+//   W1 — early phase: read-mostly lookups by community / temperature;
+//   W2 — outbreak: insert-heavy (new potentially-infected people), where
+//        maintaining idx_community costs more than it saves;
+//   W3 — controlled: update-heavy temperature refreshes keyed by
+//        (name, community), where a multi-column index pays off.
+struct EpidemicConfig {
+  int people = 20000;
+  int communities = 400;
+  uint64_t seed = 20220504;
+};
+
+class EpidemicWorkload {
+ public:
+  static void Populate(Database* db, const EpidemicConfig& config);
+
+  static std::vector<std::string> PhaseW1(const EpidemicConfig& config,
+                                          size_t count, uint64_t seed);
+  static std::vector<std::string> PhaseW2(const EpidemicConfig& config,
+                                          size_t count, uint64_t seed);
+  static std::vector<std::string> PhaseW3(const EpidemicConfig& config,
+                                          size_t count, uint64_t seed);
+};
+
+}  // namespace autoindex

@@ -1,0 +1,320 @@
+#include "workload/tpcc.h"
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace autoindex {
+namespace {
+
+constexpr const char* kLastNames[] = {
+    "BARBAR", "OUGHT",  "ABLE",  "PRI",   "PRES",
+    "ESE",    "ANTI",   "CALLY", "ATION", "EING",
+};
+
+std::string LastName(uint64_t i) {
+  return std::string(kLastNames[i % 10]) + kLastNames[(i / 10) % 10];
+}
+
+}  // namespace
+
+void TpccWorkload::Populate(Database* db, const TpccConfig& config) {
+  Random rng(config.seed);
+
+  CheckOk(db->CreateTable("warehouse", Schema({{"w_id", ValueType::kInt},
+                                               {"w_name", ValueType::kString, 12},
+                                               {"w_state", ValueType::kString, 4},
+                                               {"w_ytd", ValueType::kDouble}})));
+  CheckOk(db->CreateTable("district", Schema({{"d_id", ValueType::kInt},
+                                              {"d_w_id", ValueType::kInt},
+                                              {"d_name", ValueType::kString, 12},
+                                              {"d_next_o_id", ValueType::kInt},
+                                              {"d_ytd", ValueType::kDouble}})));
+  CheckOk(db->CreateTable("customer", Schema({{"c_id", ValueType::kInt},
+                                              {"c_d_id", ValueType::kInt},
+                                              {"c_w_id", ValueType::kInt},
+                                              {"c_last", ValueType::kString, 14},
+                                              {"c_first", ValueType::kString, 12},
+                                              {"c_balance", ValueType::kDouble},
+                                              {"c_ytd_payment", ValueType::kDouble},
+                                              {"c_credit", ValueType::kString, 4}})));
+  CheckOk(db->CreateTable("history", Schema({{"h_c_id", ValueType::kInt},
+                                             {"h_d_id", ValueType::kInt},
+                                             {"h_w_id", ValueType::kInt},
+                                             {"h_amount", ValueType::kDouble},
+                                             {"h_date", ValueType::kInt}})));
+  CheckOk(db->CreateTable("neworder", Schema({{"no_o_id", ValueType::kInt},
+                                              {"no_d_id", ValueType::kInt},
+                                              {"no_w_id", ValueType::kInt}})));
+  CheckOk(db->CreateTable("orders", Schema({{"o_id", ValueType::kInt},
+                                            {"o_d_id", ValueType::kInt},
+                                            {"o_w_id", ValueType::kInt},
+                                            {"o_c_id", ValueType::kInt},
+                                            {"o_entry_d", ValueType::kInt},
+                                            {"o_carrier_id", ValueType::kInt},
+                                            {"o_ol_cnt", ValueType::kInt}})));
+  CheckOk(db->CreateTable("orderline", Schema({{"ol_o_id", ValueType::kInt},
+                                               {"ol_d_id", ValueType::kInt},
+                                               {"ol_w_id", ValueType::kInt},
+                                               {"ol_number", ValueType::kInt},
+                                               {"ol_i_id", ValueType::kInt},
+                                               {"ol_quantity", ValueType::kInt},
+                                               {"ol_amount", ValueType::kDouble}})));
+  CheckOk(db->CreateTable("item", Schema({{"i_id", ValueType::kInt},
+                                          {"i_name", ValueType::kString, 16},
+                                          {"i_price", ValueType::kDouble},
+                                          {"i_data", ValueType::kString, 24}})));
+  CheckOk(db->CreateTable("stock", Schema({{"s_i_id", ValueType::kInt},
+                                           {"s_w_id", ValueType::kInt},
+                                           {"s_quantity", ValueType::kInt},
+                                           {"s_ytd", ValueType::kDouble},
+                                           {"s_order_cnt", ValueType::kInt},
+                                           {"s_quality", ValueType::kInt}})));
+
+  // --- population ---
+  std::vector<Row> rows;
+  for (int w = 1; w <= config.warehouses; ++w) {
+    rows.push_back({Value(int64_t(w)), Value(rng.NextName(8)),
+                    Value(rng.NextName(2)), Value(0.0)});
+  }
+  CheckOk(db->BulkInsert("warehouse", std::move(rows)));
+
+  rows.clear();
+  for (int w = 1; w <= config.warehouses; ++w) {
+    for (int d = 1; d <= config.districts_per_warehouse; ++d) {
+      rows.push_back({Value(int64_t(d)), Value(int64_t(w)),
+                      Value(rng.NextName(8)),
+                      Value(int64_t(config.orders_per_district + 1)),
+                      Value(0.0)});
+    }
+  }
+  CheckOk(db->BulkInsert("district", std::move(rows)));
+
+  rows.clear();
+  for (int w = 1; w <= config.warehouses; ++w) {
+    for (int d = 1; d <= config.districts_per_warehouse; ++d) {
+      for (int c = 1; c <= config.customers_per_district; ++c) {
+        rows.push_back({Value(int64_t(c)), Value(int64_t(d)),
+                        Value(int64_t(w)), Value(LastName(rng.Uniform(100))),
+                        Value(rng.NextName(8)),
+                        Value(rng.NextDouble() * 1000.0), Value(0.0),
+                        Value(rng.Bernoulli(0.9) ? "GC" : "BC")});
+      }
+    }
+  }
+  CheckOk(db->BulkInsert("customer", std::move(rows)));
+
+  rows.clear();
+  for (int i = 1; i <= config.items; ++i) {
+    rows.push_back({Value(int64_t(i)), Value(rng.NextName(10)),
+                    Value(1.0 + rng.NextDouble() * 99.0),
+                    Value(rng.NextName(16))});
+  }
+  CheckOk(db->BulkInsert("item", std::move(rows)));
+
+  rows.clear();
+  for (int w = 1; w <= config.warehouses; ++w) {
+    for (int i = 1; i <= config.items; ++i) {
+      rows.push_back({Value(int64_t(i)), Value(int64_t(w)),
+                      Value(int64_t(10 + rng.Uniform(91))), Value(0.0),
+                      Value(int64_t(0)),
+                      Value(int64_t(rng.Uniform(100)))});
+    }
+  }
+  CheckOk(db->BulkInsert("stock", std::move(rows)));
+
+  std::vector<Row> order_rows, ol_rows, no_rows;
+  for (int w = 1; w <= config.warehouses; ++w) {
+    for (int d = 1; d <= config.districts_per_warehouse; ++d) {
+      for (int o = 1; o <= config.orders_per_district; ++o) {
+        const int c = 1 + static_cast<int>(
+                              rng.Uniform(config.customers_per_district));
+        const int ol_cnt = 5 + static_cast<int>(rng.Uniform(6));
+        order_rows.push_back(
+            {Value(int64_t(o)), Value(int64_t(d)), Value(int64_t(w)),
+             Value(int64_t(c)), Value(int64_t(rng.Uniform(100000))),
+             Value(int64_t(o < config.orders_per_district * 7 / 10
+                               ? 1 + rng.Uniform(10)
+                               : 0)),
+             Value(int64_t(ol_cnt))});
+        for (int l = 1; l <= ol_cnt; ++l) {
+          ol_rows.push_back({Value(int64_t(o)), Value(int64_t(d)),
+                             Value(int64_t(w)), Value(int64_t(l)),
+                             Value(int64_t(1 + rng.Uniform(config.items))),
+                             Value(int64_t(1 + rng.Uniform(10))),
+                             Value(rng.NextDouble() * 100.0)});
+        }
+        if (o >= config.orders_per_district * 7 / 10) {
+          no_rows.push_back(
+              {Value(int64_t(o)), Value(int64_t(d)), Value(int64_t(w))});
+        }
+      }
+    }
+  }
+  CheckOk(db->BulkInsert("orders", std::move(order_rows)));
+  CheckOk(db->BulkInsert("orderline", std::move(ol_rows)));
+  CheckOk(db->BulkInsert("neworder", std::move(no_rows)));
+  db->Analyze();
+}
+
+std::vector<IndexDef> TpccWorkload::DefaultIndexes() {
+  return {
+      // Primary-key style indexes.
+      IndexDef("warehouse", {"w_id"}),
+      IndexDef("district", {"d_w_id", "d_id"}),
+      IndexDef("customer", {"c_w_id", "c_d_id", "c_id"}),
+      IndexDef("item", {"i_id"}),
+      IndexDef("stock", {"s_w_id", "s_i_id"}),
+      IndexDef("orders", {"o_w_id", "o_d_id", "o_id"}),
+      IndexDef("orderline", {"ol_w_id", "ol_d_id", "ol_o_id"}),
+      IndexDef("neworder", {"no_w_id", "no_d_id", "no_o_id"}),
+      // DBA-habit extras on hot, frequently *updated* columns — the paper
+      // notes such Default indexes can be net negative.
+      IndexDef("customer", {"c_balance"}),
+      IndexDef("stock", {"s_ytd"}),
+  };
+}
+
+void TpccWorkload::CreateDefaultIndexes(Database* db) {
+  for (const IndexDef& def : DefaultIndexes()) CheckOk(db->CreateIndex(def));
+}
+
+std::vector<std::string> TpccWorkload::Generate(const TpccConfig& config,
+                                                size_t count, uint64_t seed,
+                                                const TpccMix& mix) {
+  Random rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count * 4);
+
+  auto rand_w = [&] { return 1 + rng.Uniform(config.warehouses); };
+  auto rand_d = [&] { return 1 + rng.Uniform(config.districts_per_warehouse); };
+  auto rand_c = [&] {
+    return 1 + rng.Skewed(config.customers_per_district);
+  };
+  auto rand_i = [&] { return 1 + rng.Skewed(config.items); };
+
+  size_t emitted_txns = 0;
+  int next_o_id = config.orders_per_district + 1;
+  while (emitted_txns < count) {
+    const int pick = static_cast<int>(rng.Uniform(100));
+    const uint64_t w = rand_w();
+    const uint64_t d = rand_d();
+    ++emitted_txns;
+    if (pick < mix.new_order) {
+      const uint64_t c = rand_c();
+      out.push_back(StrFormat(
+          "SELECT c_last, c_credit FROM customer WHERE c_w_id = %llu AND "
+          "c_d_id = %llu AND c_id = %llu",
+          (unsigned long long)w, (unsigned long long)d,
+          (unsigned long long)c));
+      const int lines = 2 + static_cast<int>(rng.Uniform(3));
+      for (int l = 0; l < lines; ++l) {
+        const uint64_t i = rand_i();
+        out.push_back(StrFormat(
+            "SELECT i_price, i_name FROM item WHERE i_id = %llu",
+            (unsigned long long)i));
+        out.push_back(StrFormat(
+            "SELECT s_quantity FROM stock WHERE s_w_id = %llu AND s_i_id = "
+            "%llu",
+            (unsigned long long)w, (unsigned long long)i));
+        out.push_back(StrFormat(
+            "UPDATE stock SET s_quantity = %llu, s_ytd = %.2f WHERE s_w_id "
+            "= %llu AND s_i_id = %llu",
+            (unsigned long long)(10 + rng.Uniform(90)),
+            rng.NextDouble() * 100, (unsigned long long)w,
+            (unsigned long long)i));
+        out.push_back(StrFormat(
+            "INSERT INTO orderline VALUES (%d, %llu, %llu, %d, %llu, %llu, "
+            "%.2f)",
+            next_o_id, (unsigned long long)d, (unsigned long long)w, l + 1,
+            (unsigned long long)i, (unsigned long long)(1 + rng.Uniform(9)),
+            rng.NextDouble() * 100));
+      }
+      out.push_back(StrFormat(
+          "INSERT INTO orders VALUES (%d, %llu, %llu, %llu, %llu, 0, %d)",
+          next_o_id, (unsigned long long)d, (unsigned long long)w,
+          (unsigned long long)c, (unsigned long long)rng.Uniform(100000),
+          lines));
+      out.push_back(StrFormat("INSERT INTO neworder VALUES (%d, %llu, %llu)",
+                              next_o_id, (unsigned long long)d,
+                              (unsigned long long)w));
+      ++next_o_id;
+    } else if (pick < mix.new_order + mix.payment) {
+      const uint64_t c = rand_c();
+      out.push_back(StrFormat(
+          "UPDATE warehouse SET w_ytd = %.2f WHERE w_id = %llu",
+          rng.NextDouble() * 100000, (unsigned long long)w));
+      out.push_back(StrFormat(
+          "UPDATE district SET d_ytd = %.2f WHERE d_w_id = %llu AND d_id = "
+          "%llu",
+          rng.NextDouble() * 10000, (unsigned long long)w,
+          (unsigned long long)d));
+      if (rng.Bernoulli(0.4)) {
+        // Payment by last name.
+        out.push_back(StrFormat(
+            "SELECT c_id, c_balance FROM customer WHERE c_w_id = %llu AND "
+            "c_d_id = %llu AND c_last = '%s' ORDER BY c_first",
+            (unsigned long long)w, (unsigned long long)d,
+            LastName(rng.Uniform(100)).c_str()));
+      }
+      out.push_back(StrFormat(
+          "UPDATE customer SET c_balance = %.2f, c_ytd_payment = %.2f WHERE "
+          "c_w_id = %llu AND c_d_id = %llu AND c_id = %llu",
+          rng.NextDouble() * 1000, rng.NextDouble() * 1000,
+          (unsigned long long)w, (unsigned long long)d,
+          (unsigned long long)c));
+      out.push_back(StrFormat(
+          "INSERT INTO history VALUES (%llu, %llu, %llu, %.2f, %llu)",
+          (unsigned long long)c, (unsigned long long)d,
+          (unsigned long long)w, rng.NextDouble() * 500,
+          (unsigned long long)rng.Uniform(100000)));
+    } else if (pick < mix.new_order + mix.payment + mix.order_status) {
+      const uint64_t c = rand_c();
+      // The Table-I access pattern: orders by (o_c_id, o_w_id, o_d_id).
+      out.push_back(StrFormat(
+          "SELECT o_id, o_entry_d, o_carrier_id FROM orders WHERE o_c_id = "
+          "%llu AND o_w_id = %llu AND o_d_id = %llu ORDER BY o_id DESC "
+          "LIMIT 1",
+          (unsigned long long)c, (unsigned long long)w,
+          (unsigned long long)d));
+      out.push_back(StrFormat(
+          "SELECT ol_i_id, ol_quantity, ol_amount FROM orderline WHERE "
+          "ol_w_id = %llu AND ol_d_id = %llu AND ol_o_id = %llu",
+          (unsigned long long)w, (unsigned long long)d,
+          (unsigned long long)(1 + rng.Uniform(next_o_id))));
+    } else if (pick <
+               mix.new_order + mix.payment + mix.order_status + mix.delivery) {
+      out.push_back(StrFormat(
+          "SELECT MIN(no_o_id) FROM neworder WHERE no_w_id = %llu AND "
+          "no_d_id = %llu",
+          (unsigned long long)w, (unsigned long long)d));
+      const uint64_t o = 1 + rng.Uniform(next_o_id);
+      out.push_back(StrFormat(
+          "DELETE FROM neworder WHERE no_w_id = %llu AND no_d_id = %llu AND "
+          "no_o_id = %llu",
+          (unsigned long long)w, (unsigned long long)d,
+          (unsigned long long)o));
+      out.push_back(StrFormat(
+          "UPDATE orders SET o_carrier_id = %llu WHERE o_w_id = %llu AND "
+          "o_d_id = %llu AND o_id = %llu",
+          (unsigned long long)(1 + rng.Uniform(10)), (unsigned long long)w,
+          (unsigned long long)d, (unsigned long long)o));
+      out.push_back(StrFormat(
+          "SELECT SUM(ol_amount) FROM orderline WHERE ol_w_id = %llu AND "
+          "ol_d_id = %llu AND ol_o_id = %llu",
+          (unsigned long long)w, (unsigned long long)d,
+          (unsigned long long)o));
+    } else {
+      // Stock level, with the s_quality filter that motivates Table I's
+      // s_quality index.
+      out.push_back(StrFormat(
+          "SELECT COUNT(*) FROM stock WHERE s_w_id = %llu AND s_quantity < "
+          "%llu AND s_quality > %llu",
+          (unsigned long long)w, (unsigned long long)(10 + rng.Uniform(10)),
+          (unsigned long long)(85 + rng.Uniform(10))));
+    }
+  }
+  return out;
+}
+
+}  // namespace autoindex

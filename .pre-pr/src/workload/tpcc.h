@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace autoindex {
+
+// A scaled-down TPC-C-style OLTP generator: the paper's 10-table schema,
+// five transaction types with the standard mix, parameterized by a scale
+// factor ("TPC-C1x/10x/100x" map to warehouses = scale). Row counts are
+// shrunk uniformly so that the 100x configuration stays laptop-sized while
+// preserving relative table sizes and access skew.
+struct TpccConfig {
+  int warehouses = 1;
+  int districts_per_warehouse = 5;
+  int customers_per_district = 300;
+  int items = 2000;
+  // Initial orders per district (order lines follow).
+  int orders_per_district = 150;
+  uint64_t seed = 20220501;
+};
+
+// Transaction mix (percentages; the remainder falls to stock-level).
+struct TpccMix {
+  int new_order = 45;
+  int payment = 43;
+  int order_status = 4;
+  int delivery = 4;
+  // stock_level = 100 - sum of the above
+};
+
+class TpccWorkload {
+ public:
+  // Creates the 10 tables and loads the initial population.
+  static void Populate(Database* db, const TpccConfig& config);
+
+  // The paper's "Default" configuration: primary-key style indexes plus a
+  // couple of DBA-habit indexes on frequently-updated columns (which the
+  // paper observes can have net-negative benefit).
+  static std::vector<IndexDef> DefaultIndexes();
+  static void CreateDefaultIndexes(Database* db);
+
+  // Generates `count` SQL statements following the transaction mix.
+  static std::vector<std::string> Generate(const TpccConfig& config,
+                                           size_t count, uint64_t seed,
+                                           const TpccMix& mix = TpccMix());
+
+  // A read-shifted mix (used by the dynamic-workload experiment).
+  static TpccMix ReadHeavyMix() { return TpccMix{10, 10, 40, 5}; }
+  static TpccMix WriteHeavyMix() { return TpccMix{60, 35, 2, 2}; }
+};
+
+}  // namespace autoindex

@@ -1,0 +1,318 @@
+#include "workload/tpcds.h"
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace autoindex {
+namespace {
+
+constexpr const char* kCategories[] = {"books", "electronics", "home",
+                                       "music", "shoes", "sports", "toys"};
+constexpr const char* kStates[] = {"ca", "ny", "tx", "wa", "fl", "il"};
+
+}  // namespace
+
+void TpcdsWorkload::Populate(Database* db, const TpcdsConfig& config) {
+  Random rng(config.seed);
+
+  CheckOk(db->CreateTable("date_dim", Schema({{"d_date_sk", ValueType::kInt},
+                                              {"d_year", ValueType::kInt},
+                                              {"d_moy", ValueType::kInt},
+                                              {"d_dom", ValueType::kInt},
+                                              {"d_qoy", ValueType::kInt}})));
+  CheckOk(db->CreateTable("ds_item", Schema({{"i_item_sk", ValueType::kInt},
+                                             {"i_manufact_id", ValueType::kInt},
+                                             {"i_category", ValueType::kString, 12},
+                                             {"i_brand_id", ValueType::kInt},
+                                             {"i_current_price", ValueType::kDouble}})));
+  CheckOk(db->CreateTable("ds_customer", Schema({{"c_customer_sk", ValueType::kInt},
+                                                 {"c_birth_year", ValueType::kInt},
+                                                 {"c_state", ValueType::kString, 4},
+                                                 {"c_preferred", ValueType::kInt}})));
+  CheckOk(db->CreateTable("store", Schema({{"st_store_sk", ValueType::kInt},
+                                           {"st_state", ValueType::kString, 4},
+                                           {"st_floor_space", ValueType::kInt}})));
+  CheckOk(db->CreateTable("promotion", Schema({{"p_promo_sk", ValueType::kInt},
+                                               {"p_channel", ValueType::kString, 8},
+                                               {"p_cost", ValueType::kDouble}})));
+  CheckOk(db->CreateTable("store_sales",
+                          Schema({{"ss_sold_date_sk", ValueType::kInt},
+                                  {"ss_item_sk", ValueType::kInt},
+                                  {"ss_customer_sk", ValueType::kInt},
+                                  {"ss_store_sk", ValueType::kInt},
+                                  {"ss_promo_sk", ValueType::kInt},
+                                  {"ss_quantity", ValueType::kInt},
+                                  {"ss_sales_price", ValueType::kDouble},
+                                  {"ss_net_profit", ValueType::kDouble}})));
+
+  std::vector<Row> rows;
+  for (int i = 1; i <= config.dates; ++i) {
+    rows.push_back({Value(int64_t(i)), Value(int64_t(1998 + (i / 365))),
+                    Value(int64_t(1 + (i / 30) % 12)),
+                    Value(int64_t(1 + i % 28)),
+                    Value(int64_t(1 + ((i / 30) % 12) / 3))});
+  }
+  CheckOk(db->BulkInsert("date_dim", std::move(rows)));
+
+  rows.clear();
+  for (int i = 1; i <= config.items; ++i) {
+    rows.push_back(
+        {Value(int64_t(i)),
+         Value(int64_t(1 + rng.Uniform(config.NumManufacturers()))),
+         Value(std::string(kCategories[rng.Uniform(7)])),
+         Value(int64_t(1 + rng.Uniform(config.NumBrands()))),
+         Value(0.5 + rng.NextDouble() * 199.5)});
+  }
+  CheckOk(db->BulkInsert("ds_item", std::move(rows)));
+
+  rows.clear();
+  for (int i = 1; i <= config.customers; ++i) {
+    rows.push_back({Value(int64_t(i)),
+                    Value(int64_t(1930 + rng.Uniform(80))),
+                    Value(std::string(kStates[rng.Uniform(6)])),
+                    Value(int64_t(rng.Bernoulli(0.3) ? 1 : 0))});
+  }
+  CheckOk(db->BulkInsert("ds_customer", std::move(rows)));
+
+  rows.clear();
+  for (int i = 1; i <= config.stores; ++i) {
+    rows.push_back({Value(int64_t(i)), Value(std::string(kStates[rng.Uniform(6)])),
+                    Value(int64_t(1000 + rng.Uniform(9000)))});
+  }
+  CheckOk(db->BulkInsert("store", std::move(rows)));
+
+  rows.clear();
+  for (int i = 1; i <= config.promotions; ++i) {
+    rows.push_back({Value(int64_t(i)), Value(rng.NextName(6)),
+                    Value(rng.NextDouble() * 1000)});
+  }
+  CheckOk(db->BulkInsert("promotion", std::move(rows)));
+
+  rows.clear();
+  rows.reserve(config.sales_rows);
+  for (int i = 0; i < config.sales_rows; ++i) {
+    // Sales arrive in date order (as in a real nightly load): the fact
+    // table is physically correlated with ss_sold_date_sk, so date-range
+    // index scans touch contiguous heap pages.
+    const int64_t date_sk =
+        1 + (static_cast<int64_t>(i) * config.dates) / config.sales_rows;
+    rows.push_back({Value(date_sk),
+                    Value(int64_t(1 + rng.Skewed(config.items))),
+                    Value(int64_t(1 + rng.Skewed(config.customers))),
+                    Value(int64_t(1 + rng.Uniform(config.stores))),
+                    Value(int64_t(1 + rng.Uniform(config.promotions))),
+                    Value(int64_t(1 + rng.Uniform(99))),
+                    Value(rng.NextDouble() * 300),
+                    Value(rng.NextDouble() * 120 - 20)});
+  }
+  CheckOk(db->BulkInsert("store_sales", std::move(rows)));
+  db->Analyze();
+}
+
+std::vector<IndexDef> TpcdsWorkload::DefaultIndexes() {
+  return {
+      IndexDef("date_dim", {"d_date_sk"}),
+      IndexDef("ds_item", {"i_item_sk"}),
+      IndexDef("ds_customer", {"c_customer_sk"}),
+      IndexDef("store", {"st_store_sk"}),
+      IndexDef("promotion", {"p_promo_sk"}),
+  };
+}
+
+void TpcdsWorkload::CreateDefaultIndexes(Database* db) {
+  for (const IndexDef& def : DefaultIndexes()) CheckOk(db->CreateIndex(def));
+}
+
+std::string TpcdsWorkload::Query(int qid, const TpcdsConfig& config,
+                                 Random* rng) {
+  Random& r = *rng;
+  const int year = 1998 + static_cast<int>(r.Uniform(4));
+  const int moy = 1 + static_cast<int>(r.Uniform(12));
+  const int manufact =
+      1 + static_cast<int>(r.Uniform(config.NumManufacturers()));
+  const int brand = 1 + static_cast<int>(r.Uniform(config.NumBrands()));
+  const char* category = kCategories[r.Uniform(7)];
+  const char* state = kStates[r.Uniform(6)];
+  const int store = 1 + static_cast<int>(r.Uniform(config.stores));
+  const int item = 1 + static_cast<int>(r.Uniform(config.items));
+  const int customer = 1 + static_cast<int>(r.Uniform(config.customers));
+  const int date_lo = 1 + static_cast<int>(r.Uniform(config.dates - 40));
+
+  switch (qid % kNumQueryTemplates) {
+    case 0:  // narrow fact range scan by date key
+      return StrFormat(
+          "SELECT COUNT(*), SUM(ss_net_profit) FROM store_sales WHERE "
+          "ss_sold_date_sk BETWEEN %d AND %d",
+          date_lo, date_lo + 30);
+    case 1:  // per-item profit in a date window
+      return StrFormat(
+          "SELECT ss_item_sk, SUM(ss_net_profit) FROM store_sales WHERE "
+          "ss_sold_date_sk BETWEEN %d AND %d GROUP BY ss_item_sk "
+          "ORDER BY ss_item_sk LIMIT 20",
+          date_lo, date_lo + 10);
+    case 2:  // item dimension filter
+      return StrFormat(
+          "SELECT COUNT(*) FROM ds_item WHERE i_category = '%s' AND "
+          "i_current_price > %.2f",
+          category, 50.0 + r.NextDouble() * 100.0);
+    case 3:  // fact-item join on manufacturer
+      return StrFormat(
+          "SELECT SUM(ss_sales_price) FROM store_sales, ds_item WHERE "
+          "ss_item_sk = i_item_sk AND i_manufact_id = %d",
+          manufact);
+    case 4:  // fact-date join on year/month
+      return StrFormat(
+          "SELECT COUNT(*) FROM store_sales, date_dim WHERE "
+          "ss_sold_date_sk = d_date_sk AND d_year = %d AND d_moy = %d",
+          year, moy);
+    case 5:  // customer-state rollup
+      return StrFormat(
+          "SELECT c_state, COUNT(*) FROM ds_customer WHERE c_birth_year "
+          "BETWEEN %d AND %d GROUP BY c_state ORDER BY c_state",
+          1940 + static_cast<int>(r.Uniform(30)),
+          1980 + static_cast<int>(r.Uniform(20)));
+    case 6:  // store filter with OR (exercises DNF)
+      return StrFormat(
+          "SELECT COUNT(*) FROM store_sales WHERE ss_store_sk = %d AND "
+          "(ss_quantity > %d OR ss_sales_price > %.2f)",
+          store, 80 + static_cast<int>(r.Uniform(15)),
+          250.0 + r.NextDouble() * 40.0);
+    case 7:  // three-way join: fact + item + date
+      return StrFormat(
+          "SELECT i_category, SUM(ss_net_profit) FROM store_sales, ds_item, "
+          "date_dim WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = "
+          "d_date_sk AND d_year = %d AND i_brand_id = %d GROUP BY "
+          "i_category",
+          year, brand);
+    case 8:  // customer join
+      return StrFormat(
+          "SELECT COUNT(*) FROM store_sales, ds_customer WHERE "
+          "ss_customer_sk = c_customer_sk AND c_state = '%s' AND "
+          "ss_quantity > %d",
+          state, 90 + static_cast<int>(r.Uniform(8)));
+    case 9:  // point lookup on fact by item
+      return StrFormat(
+          "SELECT SUM(ss_quantity) FROM store_sales WHERE ss_item_sk = %d",
+          item);
+    case 10:  // promotion join
+      return StrFormat(
+          "SELECT p_channel, COUNT(*) FROM store_sales, promotion WHERE "
+          "ss_promo_sk = p_promo_sk AND p_cost > %.2f AND ss_net_profit > "
+          "%.2f GROUP BY p_channel",
+          900.0 + r.NextDouble() * 90.0, 95.0 + r.NextDouble() * 4.0);
+    case 11:  // the Q32-style combined-index query: only fast when BOTH
+              // ds_item(i_manufact_id) and date_dim(d_year,d_moy) indexes
+              // exist (each filter alone is weak; together the join
+              // collapses).
+      return StrFormat(
+          "SELECT SUM(ss_net_profit) FROM ds_item, store_sales, date_dim "
+          "WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk "
+          "AND i_manufact_id = %d AND d_year = %d AND d_moy = %d",
+          manufact, year, moy);
+    case 12:  // top customers by spend in window
+      return StrFormat(
+          "SELECT ss_customer_sk, SUM(ss_sales_price) FROM store_sales "
+          "WHERE ss_sold_date_sk BETWEEN %d AND %d GROUP BY ss_customer_sk "
+          "ORDER BY ss_customer_sk DESC LIMIT 10",
+          date_lo, date_lo + 20);
+    case 13:  // expensive-item scan ordered by price
+      return StrFormat(
+          "SELECT i_item_sk, i_current_price FROM ds_item WHERE "
+          "i_current_price BETWEEN %.2f AND %.2f ORDER BY i_current_price "
+          "DESC LIMIT 25",
+          150.0 + r.NextDouble() * 20.0, 190.0 + r.NextDouble() * 10.0);
+    case 14:  // quarter rollup via date join
+      return StrFormat(
+          "SELECT d_qoy, SUM(ss_net_profit) FROM store_sales, date_dim "
+          "WHERE ss_sold_date_sk = d_date_sk AND d_year = %d GROUP BY "
+          "d_qoy ORDER BY d_qoy",
+          year);
+    case 15:  // store + date join
+      return StrFormat(
+          "SELECT COUNT(*) FROM store_sales, store WHERE ss_store_sk = "
+          "st_store_sk AND st_state = '%s' AND ss_sold_date_sk BETWEEN %d "
+          "AND %d",
+          state, date_lo, date_lo + 15);
+    case 16:  // IN-list on category
+      return StrFormat(
+          "SELECT COUNT(*) FROM ds_item WHERE i_category IN ('%s', '%s') "
+          "AND i_manufact_id = %d",
+          kCategories[r.Uniform(7)], kCategories[r.Uniform(7)], manufact);
+    case 17:  // preferred-customer analysis
+      return StrFormat(
+          "SELECT c_birth_year, COUNT(*) FROM ds_customer WHERE "
+          "c_preferred = 1 AND c_state = '%s' GROUP BY c_birth_year ORDER "
+          "BY c_birth_year",
+          state);
+    case 18:  // fact filter on two measures (AND of ranges)
+      return StrFormat(
+          "SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN %d "
+          "AND %d AND ss_sales_price > %.2f",
+          95 + static_cast<int>(r.Uniform(3)), 99,
+          290.0 + r.NextDouble() * 9.0);
+    case 19:  // four-way join
+      return StrFormat(
+          "SELECT st_state, SUM(ss_net_profit) FROM store_sales, ds_item, "
+          "store, date_dim WHERE ss_item_sk = i_item_sk AND ss_store_sk = "
+          "st_store_sk AND ss_sold_date_sk = d_date_sk AND i_category = "
+          "'%s' AND d_year = %d GROUP BY st_state",
+          category, year);
+    case 20:  // single customer drill-down
+      return StrFormat(
+          "SELECT ss_sold_date_sk, ss_sales_price FROM store_sales WHERE "
+          "ss_customer_sk = %d ORDER BY ss_sold_date_sk",
+          customer);
+    case 21:  // disjunctive item filter (DNF with two conjuncts)
+      return StrFormat(
+          "SELECT COUNT(*) FROM ds_item WHERE (i_category = '%s' AND "
+          "i_current_price < %.2f) OR (i_brand_id = %d AND i_manufact_id = "
+          "%d)",
+          category, 2.0 + r.NextDouble() * 3.0, brand, manufact);
+    case 22:  // day-of-month drill via join
+      return StrFormat(
+          "SELECT COUNT(*) FROM store_sales, date_dim WHERE "
+          "ss_sold_date_sk = d_date_sk AND d_year = %d AND d_moy = %d AND "
+          "d_dom BETWEEN 1 AND 7",
+          year, moy);
+    case 23:  // brand price ordering
+      return StrFormat(
+          "SELECT i_brand_id, MAX(i_current_price) FROM ds_item WHERE "
+          "i_manufact_id BETWEEN %d AND %d GROUP BY i_brand_id ORDER BY "
+          "i_brand_id LIMIT 15",
+          manufact, manufact + 2);
+    case 24:  // profit outliers in window
+    default:
+      return StrFormat(
+          "SELECT ss_item_sk, ss_net_profit FROM store_sales WHERE "
+          "ss_net_profit > %.2f AND ss_sold_date_sk BETWEEN %d AND %d "
+          "ORDER BY ss_net_profit DESC LIMIT 10",
+          97.0 + r.NextDouble() * 3.0, date_lo, date_lo + 30);
+  }
+}
+
+std::vector<std::string> TpcdsWorkload::Generate(const TpcdsConfig& config,
+                                                 size_t count,
+                                                 uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(Query(static_cast<int>(i % kNumQueryTemplates), config,
+                        &rng));
+  }
+  return out;
+}
+
+std::vector<std::string> TpcdsWorkload::OneOfEach(const TpcdsConfig& config,
+                                                  uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::string> out;
+  out.reserve(kNumQueryTemplates);
+  for (int q = 0; q < kNumQueryTemplates; ++q) {
+    out.push_back(Query(q, config, &rng));
+  }
+  return out;
+}
+
+}  // namespace autoindex

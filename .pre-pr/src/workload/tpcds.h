@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "util/random.h"
+
+namespace autoindex {
+
+// A TPC-DS-style analytic generator: a retail star schema (a sales fact
+// table plus dimension tables) and 25 analytic query templates — joins,
+// range filters, GROUP BY / ORDER BY, and OR-heavy predicates. Template
+// q11 reproduces the paper's Q32 observation: its subquery-style join only
+// accelerates when indexes on BOTH i_manufact_id and the date dimension
+// exist (Sec. III "Motivation of using MCTS").
+struct TpcdsConfig {
+  int sales_rows = 200000;
+  int items = 12000;
+  int customers = 15000;
+  int stores = 40;
+  int dates = 1825;       // 5 years of days
+  int promotions = 300;
+  uint64_t seed = 20220502;
+
+  // Derived dimension cardinalities (scale with the item count so filter
+  // selectivities stay realistic at any size).
+  int NumManufacturers() const { return items / 6 > 0 ? items / 6 : 1; }
+  int NumBrands() const { return items / 24 > 0 ? items / 24 : 1; }
+};
+
+class TpcdsWorkload {
+ public:
+  static void Populate(Database* db, const TpcdsConfig& config);
+
+  // Default configuration: surrogate-key indexes on the dimensions only.
+  static std::vector<IndexDef> DefaultIndexes();
+  static void CreateDefaultIndexes(Database* db);
+
+  // Number of distinct query templates.
+  static constexpr int kNumQueryTemplates = 25;
+
+  // One instance of template `qid` (0-based) with random parameters.
+  static std::string Query(int qid, const TpcdsConfig& config, Random* rng);
+
+  // `count` queries cycling uniformly over all templates.
+  static std::vector<std::string> Generate(const TpcdsConfig& config,
+                                           size_t count, uint64_t seed);
+
+  // One instance of every template, in order (per-query figures).
+  static std::vector<std::string> OneOfEach(const TpcdsConfig& config,
+                                            uint64_t seed);
+};
+
+}  // namespace autoindex

@@ -1,0 +1,98 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace autoindex {
+namespace {
+
+constexpr const char* kHeader = "# autoindex-trace v1";
+
+std::string Escape(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  for (char c : sql) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Unescape(const std::string& line) {
+  std::string out;
+  out.reserve(line.size());
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      switch (line[i + 1]) {
+        case '\\':
+          out.push_back('\\');
+          ++i;
+          continue;
+        case 'n':
+          out.push_back('\n');
+          ++i;
+          continue;
+        case 'r':
+          out.push_back('\r');
+          ++i;
+          continue;
+        default:
+          break;
+      }
+    }
+    out.push_back(line[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SaveWorkloadTrace(const std::string& path,
+                         const std::vector<std::string>& queries) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open trace file for writing: " + path);
+  }
+  out << kHeader << "\n";
+  for (const std::string& sql : queries) {
+    out << Escape(sql) << "\n";
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> LoadWorkloadTrace(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("no such trace file: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("not an autoindex trace file: " + path);
+  }
+  std::vector<std::string> queries;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    queries.push_back(Unescape(line));
+  }
+  return queries;
+}
+
+}  // namespace autoindex

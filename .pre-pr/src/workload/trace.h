@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace autoindex {
+
+// Plain-text workload traces: one SQL statement per line, with a version
+// header. This mirrors the paper's setup where workload queries are
+// "logged in the server that runs the index management process"
+// (Sec. III) and tuned offline. Newlines/backslashes inside statements
+// are escaped, so round-trips are loss-free.
+Status SaveWorkloadTrace(const std::string& path,
+                         const std::vector<std::string>& queries);
+
+StatusOr<std::vector<std::string>> LoadWorkloadTrace(
+    const std::string& path);
+
+}  // namespace autoindex

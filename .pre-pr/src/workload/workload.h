@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/manager.h"
+#include "engine/database.h"
+
+namespace autoindex {
+
+// Aggregate metrics of one workload run. "Latency" and "throughput" are
+// defined over deterministic cost units (see DESIGN.md): latency of a
+// query is its total execution cost; throughput is queries per 1000 cost
+// units. This keeps every experiment reproducible while preserving the
+// paper's comparative shapes.
+struct RunMetrics {
+  size_t queries = 0;
+  size_t failed = 0;
+  double total_cost = 0.0;
+  CostBreakdown breakdown;
+  double wall_ms = 0.0;
+
+  double AvgLatency() const { return queries == 0 ? 0.0 : total_cost / queries; }
+  double Throughput() const {
+    return total_cost <= 0.0 ? 0.0 : 1000.0 * queries / total_cost;
+  }
+};
+
+// Executes every query against the database. When `per_query_costs` is
+// non-null it receives one total-cost entry per query (used by the
+// per-query TPC-DS figures).
+RunMetrics RunWorkload(Database* db, const std::vector<std::string>& queries,
+                       std::vector<double>* per_query_costs = nullptr);
+
+// Same, but routed through AutoIndex's ExecuteAndObserve so templates and
+// estimator training data accumulate.
+RunMetrics RunWorkloadObserved(AutoIndexManager* manager,
+                               const std::vector<std::string>& queries,
+                               std::vector<double>* per_query_costs = nullptr);
+
+// Observe-only pass (no execution): populates the template store.
+void ObserveWorkload(AutoIndexManager* manager,
+                     const std::vector<std::string>& queries);
+
+}  // namespace autoindex

@@ -1,0 +1,127 @@
+// Index benefit estimation (Sec. V): feature combination, workload-level
+// costs, memoization, and the learned-model upgrade path.
+
+#include <gtest/gtest.h>
+
+#include "core/benefit_estimator.h"
+#include "core/query_template.h"
+#include "util/random.h"
+
+namespace autoindex {
+namespace {
+
+class BenefitEstimatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.CreateTable("t", Schema({{"a", ValueType::kInt},
+                                 {"b", ValueType::kInt}}));
+    std::vector<Row> rows;
+    for (int i = 0; i < 30000; ++i) {
+      rows.push_back({Value(int64_t(i)), Value(int64_t(i % 100))});
+    }
+    ASSERT_TRUE(db_.BulkInsert("t", std::move(rows)).ok());
+    db_.Analyze();
+    estimator_ = std::make_unique<IndexBenefitEstimator>(&db_);
+  }
+
+  WorkloadModel MakeWorkload(
+      const std::vector<std::pair<std::string, double>>& queries) {
+    for (const auto& [sql, weight] : queries) {
+      QueryTemplate* t = store_.Observe(sql);
+      EXPECT_NE(t, nullptr) << sql;
+      t->frequency = weight;
+    }
+    return WorkloadModel::FromTemplates(store_.TemplatesByFrequency());
+  }
+
+  Database db_;
+  TemplateStore store_{100};
+  std::unique_ptr<IndexBenefitEstimator> estimator_;
+};
+
+TEST_F(BenefitEstimatorTest, WorkloadCostWeightsByFrequency) {
+  WorkloadModel w1 = MakeWorkload({{"SELECT b FROM t WHERE a = 7", 1.0}});
+  const double c1 = estimator_->EstimateWorkloadCost(w1, IndexConfig());
+  WorkloadModel w10 = MakeWorkload({{"SELECT b FROM t WHERE a = 7", 10.0}});
+  const double c10 = estimator_->EstimateWorkloadCost(w10, IndexConfig());
+  EXPECT_NEAR(c10, 10.0 * c1, c1 * 0.01);
+}
+
+TEST_F(BenefitEstimatorTest, BenefitPositiveForGoodIndex) {
+  WorkloadModel w = MakeWorkload({{"SELECT b FROM t WHERE a = 7", 100.0}});
+  IndexConfig with({IndexDef("t", {"a"})});
+  EXPECT_GT(estimator_->EstimateBenefit(w, IndexConfig(), with), 0.0);
+}
+
+TEST_F(BenefitEstimatorTest, BenefitNegativeForWriteOnlyWorkload) {
+  WorkloadModel w =
+      MakeWorkload({{"INSERT INTO t VALUES (1, 2)", 1000.0}});
+  IndexConfig with({IndexDef("t", {"a"})});
+  EXPECT_LT(estimator_->EstimateBenefit(w, IndexConfig(), with), 0.0);
+}
+
+TEST_F(BenefitEstimatorTest, MemoizationIsTransparent) {
+  WorkloadModel w = MakeWorkload({{"SELECT b FROM t WHERE a = 7", 5.0}});
+  IndexConfig config({IndexDef("t", {"a"})});
+  const double first = estimator_->EstimateWorkloadCost(w, config);
+  const double second = estimator_->EstimateWorkloadCost(w, config);
+  EXPECT_DOUBLE_EQ(first, second);
+  estimator_->InvalidateCache();
+  EXPECT_DOUBLE_EQ(estimator_->EstimateWorkloadCost(w, config), first);
+}
+
+TEST_F(BenefitEstimatorTest, ConfigHashOrderIndependent) {
+  IndexConfig ab({IndexDef("t", {"a"}), IndexDef("t", {"b"})});
+  IndexConfig ba({IndexDef("t", {"b"}), IndexDef("t", {"a"})});
+  EXPECT_EQ(HashConfig(ab), HashConfig(ba));
+  IndexConfig other({IndexDef("t", {"a"})});
+  EXPECT_NE(HashConfig(ab), HashConfig(other));
+}
+
+TEST_F(BenefitEstimatorTest, TrainingRequiresMinimumObservations) {
+  estimator_->AddObservation({1.0, 0.0, 0.0}, 10.0);
+  EXPECT_LT(estimator_->TrainModel(64), 0.0);  // skipped
+  EXPECT_FALSE(estimator_->model_trained());
+}
+
+TEST_F(BenefitEstimatorTest, LearnedModelChangesEstimates) {
+  // Feed a synthetic history where true cost = 2*C_data (maintenance
+  // features are red herrings), then verify the trained estimator departs
+  // from the static sum.
+  Random rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double c_data = rng.NextDouble() * 100.0;
+    const double c_io = rng.NextDouble() * 50.0;
+    const double c_cpu = rng.NextDouble() * 50.0;
+    estimator_->AddObservation({c_data, c_io, c_cpu}, 2.0 * c_data);
+  }
+  EXPECT_GE(estimator_->TrainModel(64), 0.0);
+  EXPECT_TRUE(estimator_->model_trained());
+  EXPECT_EQ(estimator_->num_observations(), 200u);
+  const double rmse = estimator_->CrossValidateRmse();
+  EXPECT_GT(rmse, 0.0);
+  EXPECT_LT(rmse, 40.0);
+
+  // Cost estimates should still rank configurations correctly.
+  WorkloadModel w = MakeWorkload({{"SELECT b FROM t WHERE a = 7", 100.0}});
+  IndexConfig with({IndexDef("t", {"a"})});
+  EXPECT_GT(estimator_->EstimateBenefit(w, IndexConfig(), with), 0.0);
+}
+
+TEST_F(BenefitEstimatorTest, EmptyWorkloadCostsZero) {
+  WorkloadModel empty;
+  EXPECT_DOUBLE_EQ(estimator_->EstimateWorkloadCost(empty, IndexConfig()),
+                   0.0);
+}
+
+TEST_F(BenefitEstimatorTest, ZeroFrequencyTemplatesDropped) {
+  QueryTemplate* t = store_.Observe("SELECT b FROM t WHERE a = 1");
+  ASSERT_NE(t, nullptr);
+  t->frequency = 0.0;
+  WorkloadModel w =
+      WorkloadModel::FromTemplates(store_.TemplatesByFrequency());
+  EXPECT_TRUE(w.entries.empty());
+}
+
+}  // namespace
+}  // namespace autoindex

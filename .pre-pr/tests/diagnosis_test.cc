@@ -1,0 +1,118 @@
+// Index diagnosis (Sec. III): the three problem classes and the tuning
+// trigger.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/diagnosis.h"
+#include "core/query_template.h"
+
+namespace autoindex {
+namespace {
+
+class DiagnosisTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.CreateTable("t", Schema({{"a", ValueType::kInt},
+                                 {"b", ValueType::kInt},
+                                 {"c", ValueType::kInt}}));
+    std::vector<Row> rows;
+    for (int i = 0; i < 30000; ++i) {
+      rows.push_back({Value(int64_t(i)), Value(int64_t(i % 1000)),
+                      Value(int64_t(i % 3))});
+    }
+    ASSERT_TRUE(db_.BulkInsert("t", std::move(rows)).ok());
+    db_.Analyze();
+    estimator_ = std::make_unique<IndexBenefitEstimator>(&db_);
+  }
+
+  WorkloadModel MakeWorkload(
+      const std::vector<std::pair<std::string, double>>& queries) {
+    for (const auto& [sql, weight] : queries) {
+      QueryTemplate* t = store_.Observe(sql);
+      EXPECT_NE(t, nullptr) << sql;
+      t->frequency = weight;
+    }
+    return WorkloadModel::FromTemplates(store_.TemplatesByFrequency());
+  }
+
+  static bool Has(const std::vector<IndexDef>& defs, const IndexDef& want) {
+    return std::any_of(defs.begin(), defs.end(),
+                       [&](const IndexDef& d) { return d == want; });
+  }
+
+  Database db_;
+  TemplateStore store_{100};
+  std::unique_ptr<IndexBenefitEstimator> estimator_;
+};
+
+TEST_F(DiagnosisTest, DetectsUnbuiltBeneficialIndex) {
+  WorkloadModel w = MakeWorkload({{"SELECT b FROM t WHERE a = 7", 100.0}});
+  IndexDiagnoser diagnoser(&db_, estimator_.get());
+  DiagnosisReport report = diagnoser.Diagnose(w, {IndexDef("t", {"a"})});
+  EXPECT_TRUE(Has(report.unbuilt_beneficial, IndexDef("t", {"a"})));
+  EXPECT_TRUE(report.should_tune);
+}
+
+TEST_F(DiagnosisTest, DetectsRarelyUsedIndex) {
+  ASSERT_TRUE(db_.CreateIndex(IndexDef("t", {"c"})).ok());
+  // No query ever touches c: zero planner uses.
+  WorkloadModel w = MakeWorkload({{"SELECT b FROM t WHERE a = 7", 10.0}});
+  IndexDiagnoser diagnoser(&db_, estimator_.get());
+  DiagnosisReport report = diagnoser.Diagnose(w, {});
+  EXPECT_TRUE(Has(report.rarely_used, IndexDef("t", {"c"})));
+}
+
+TEST_F(DiagnosisTest, UsedIndexNotRare) {
+  ASSERT_TRUE(db_.CreateIndex(IndexDef("t", {"a"})).ok());
+  // Execute queries so the planner records uses.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db_.Execute("SELECT b FROM t WHERE a = 7").ok());
+  }
+  WorkloadModel w = MakeWorkload({{"SELECT b FROM t WHERE a = 7", 10.0}});
+  IndexDiagnoser diagnoser(&db_, estimator_.get());
+  DiagnosisReport report = diagnoser.Diagnose(w, {});
+  EXPECT_FALSE(Has(report.rarely_used, IndexDef("t", {"a"})));
+}
+
+TEST_F(DiagnosisTest, DetectsNegativeBenefitIndex) {
+  ASSERT_TRUE(db_.CreateIndex(IndexDef("t", {"b"})).ok());
+  // Write-heavy workload: the b index is pure maintenance cost.
+  WorkloadModel w =
+      MakeWorkload({{"INSERT INTO t VALUES (1, 2, 3)", 1000.0}});
+  IndexDiagnoser diagnoser(&db_, estimator_.get());
+  DiagnosisReport report = diagnoser.Diagnose(w, {});
+  EXPECT_TRUE(Has(report.negative_benefit, IndexDef("t", {"b"})));
+  EXPECT_TRUE(report.should_tune);
+}
+
+TEST_F(DiagnosisTest, HealthyEstateDoesNotTrigger) {
+  ASSERT_TRUE(db_.CreateIndex(IndexDef("t", {"a"})).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db_.Execute("SELECT b FROM t WHERE a = 7").ok());
+  }
+  WorkloadModel w = MakeWorkload({{"SELECT b FROM t WHERE a = 7", 100.0}});
+  IndexDiagnoser diagnoser(&db_, estimator_.get());
+  DiagnosisReport report = diagnoser.Diagnose(w, {});
+  EXPECT_FALSE(report.should_tune)
+      << "problem ratio " << report.problem_ratio;
+}
+
+TEST_F(DiagnosisTest, TriggerRatioConfigurable) {
+  ASSERT_TRUE(db_.CreateIndex(IndexDef("t", {"c"})).ok());
+  WorkloadModel w = MakeWorkload({{"SELECT b FROM t WHERE a = 7", 10.0}});
+  DiagnosisConfig strict;
+  strict.trigger_ratio = 0.0;  // any problem triggers
+  DiagnosisConfig lax;
+  lax.trigger_ratio = 10.0;  // nothing triggers
+  DiagnosisReport strict_report =
+      IndexDiagnoser(&db_, estimator_.get(), strict).Diagnose(w, {});
+  DiagnosisReport lax_report =
+      IndexDiagnoser(&db_, estimator_.get(), lax).Diagnose(w, {});
+  EXPECT_TRUE(strict_report.should_tune);
+  EXPECT_FALSE(lax_report.should_tune);
+}
+
+}  // namespace
+}  // namespace autoindex

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "check/validator.h"
+#include "index/index_def.h"
+#include "index/index_manager.h"
+#include "storage/catalog.h"
+#include "util/random.h"
+
+namespace autoindex {
+namespace {
+
+class IndexManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = catalog_.CreateTable(
+        "t", Schema({{"a", ValueType::kInt},
+                     {"b", ValueType::kInt},
+                     {"c", ValueType::kString}}));
+    ASSERT_TRUE(t.ok());
+    table_ = *t;
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(table_
+                      ->Insert({Value(int64_t(i)), Value(int64_t(i % 10)),
+                                Value("s" + std::to_string(i % 7))})
+                      .ok());
+    }
+  }
+
+  Catalog catalog_;
+  HeapTable* table_ = nullptr;
+};
+
+TEST_F(IndexManagerTest, IndexDefBasics) {
+  IndexDef def("T", {"A", "b"});
+  EXPECT_EQ(def.table, "t");
+  EXPECT_EQ(def.Key(), "t(a,b)");
+  EXPECT_EQ(def.DisplayName(), "idx_t_a_b");
+  IndexDef named("my_idx", "t", {"a"});
+  EXPECT_EQ(named.DisplayName(), "my_idx");
+}
+
+TEST_F(IndexManagerTest, PrefixRelation) {
+  IndexDef a("t", {"a"});
+  IndexDef ab("t", {"a", "b"});
+  IndexDef ba("t", {"b", "a"});
+  EXPECT_TRUE(a.IsPrefixOf(ab));
+  EXPECT_TRUE(a.IsPrefixOf(a));
+  EXPECT_FALSE(ab.IsPrefixOf(a));
+  EXPECT_FALSE(a.IsPrefixOf(ba));
+  IndexDef other("u", {"a"});
+  EXPECT_FALSE(a.IsPrefixOf(other));
+}
+
+TEST_F(IndexManagerTest, CreateBuildsFromExistingRows) {
+  IndexManager mgr(&catalog_);
+  ASSERT_TRUE(mgr.CreateIndex(IndexDef("t", {"b"})).ok());
+  auto indexes = mgr.IndexesOnTable("t");
+  ASSERT_EQ(indexes.size(), 1u);
+  EXPECT_EQ(indexes[0]->tree().num_entries(), 500u);
+  // 50 rows per b value.
+  EXPECT_EQ(indexes[0]->tree().PrefixLookup({Value(int64_t(3))}).size(), 50u);
+}
+
+TEST_F(IndexManagerTest, RejectsBadDefinitions) {
+  IndexManager mgr(&catalog_);
+  EXPECT_FALSE(mgr.CreateIndex(IndexDef("nope", {"a"})).ok());
+  EXPECT_FALSE(mgr.CreateIndex(IndexDef("t", {"nope"})).ok());
+  EXPECT_FALSE(mgr.CreateIndex(IndexDef("t", {})).ok());
+  ASSERT_TRUE(mgr.CreateIndex(IndexDef("t", {"a"})).ok());
+  EXPECT_FALSE(mgr.CreateIndex(IndexDef("t", {"a"})).ok());  // duplicate
+}
+
+TEST_F(IndexManagerTest, DropByKeyOrName) {
+  IndexManager mgr(&catalog_);
+  ASSERT_TRUE(mgr.CreateIndex(IndexDef("t", {"a"})).ok());
+  ASSERT_TRUE(mgr.CreateIndex(IndexDef("t", {"b"})).ok());
+  EXPECT_TRUE(mgr.DropIndex("t(a)").ok());
+  EXPECT_TRUE(mgr.DropIndex("idx_t_b").ok());
+  EXPECT_EQ(mgr.num_indexes(), 0u);
+  EXPECT_FALSE(mgr.DropIndex("t(a)").ok());
+}
+
+TEST_F(IndexManagerTest, WriteHooksMaintainIndexes) {
+  IndexManager mgr(&catalog_);
+  ASSERT_TRUE(mgr.CreateIndex(IndexDef("t", {"b"})).ok());
+  BuiltIndex* index = mgr.IndexesOnTable("t")[0];
+
+  // Insert.
+  auto rid = table_->Insert({Value(int64_t(1000)), Value(int64_t(42)),
+                             Value("zz")});
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ(mgr.OnInsert("t", *rid, table_->Get(*rid)), 1u);
+  EXPECT_EQ(index->tree().PrefixLookup({Value(int64_t(42))}).size(), 1u);
+
+  // Update that changes the key.
+  const Row old_row = table_->Get(*rid);
+  Row new_row = old_row;
+  new_row[1] = Value(int64_t(43));
+  ASSERT_TRUE(table_->Update(*rid, new_row).ok());
+  EXPECT_EQ(mgr.OnUpdate("t", *rid, old_row, new_row), 1u);
+  EXPECT_EQ(index->tree().PrefixLookup({Value(int64_t(42))}).size(), 0u);
+  EXPECT_EQ(index->tree().PrefixLookup({Value(int64_t(43))}).size(), 1u);
+
+  // Update that does not touch the key is free.
+  Row same = new_row;
+  same[0] = Value(int64_t(1001));
+  EXPECT_EQ(mgr.OnUpdate("t", *rid, new_row, same), 0u);
+
+  // Delete.
+  EXPECT_EQ(mgr.OnDelete("t", *rid, same), 1u);
+  EXPECT_EQ(index->tree().PrefixLookup({Value(int64_t(43))}).size(), 0u);
+}
+
+TEST_F(IndexManagerTest, HypotheticalIndexesEstimateStats) {
+  IndexManager mgr(&catalog_);
+  ASSERT_TRUE(mgr.AddHypothetical(IndexDef("t", {"a", "b"})).ok());
+  ASSERT_EQ(mgr.hypothetical().size(), 1u);
+  const HypotheticalIndex& hypo = mgr.hypothetical()[0];
+  EXPECT_EQ(hypo.est_entries, 500u);
+  EXPECT_GE(hypo.est_height, 1u);
+  EXPECT_GE(hypo.est_bytes, kPageSizeBytes);
+
+  auto views = mgr.StatsOnTable("t");
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_TRUE(views[0].hypothetical);
+  mgr.ClearHypothetical();
+  EXPECT_TRUE(mgr.StatsOnTable("t").empty());
+}
+
+TEST_F(IndexManagerTest, StatsViewMixesBuiltAndHypothetical) {
+  IndexManager mgr(&catalog_);
+  ASSERT_TRUE(mgr.CreateIndex(IndexDef("t", {"a"})).ok());
+  ASSERT_TRUE(mgr.AddHypothetical(IndexDef("t", {"b"})).ok());
+  auto views = mgr.StatsOnTable("t");
+  ASSERT_EQ(views.size(), 2u);
+  int built = 0, hypo = 0;
+  for (const auto& v : views) (v.hypothetical ? hypo : built)++;
+  EXPECT_EQ(built, 1);
+  EXPECT_EQ(hypo, 1);
+}
+
+TEST_F(IndexManagerTest, SizeAccounting) {
+  IndexManager mgr(&catalog_);
+  ASSERT_TRUE(mgr.CreateIndex(IndexDef("t", {"a"})).ok());
+  EXPECT_GE(mgr.TotalIndexBytes(), kPageSizeBytes);
+  const size_t one = mgr.TotalIndexBytes();
+  ASSERT_TRUE(mgr.CreateIndex(IndexDef("t", {"a", "b", "c"})).ok());
+  EXPECT_GT(mgr.TotalIndexBytes(), one);
+}
+
+TEST_F(IndexManagerTest, UsageCounters) {
+  IndexManager mgr(&catalog_);
+  ASSERT_TRUE(mgr.CreateIndex(IndexDef("t", {"a"})).ok());
+  BuiltIndex* index = mgr.IndexesOnTable("t")[0];
+  EXPECT_EQ(index->uses(), 0u);
+  index->RecordUse();
+  index->RecordUse();
+  EXPECT_EQ(index->uses(), 2u);
+  index->ResetUses();
+  EXPECT_EQ(index->uses(), 0u);
+}
+
+TEST_F(IndexManagerTest, CheckAllAfterMutationBatches) {
+  IndexManager mgr(&catalog_);
+  ASSERT_TRUE(mgr.CreateIndex(IndexDef("t", {"a"})).ok());
+  ASSERT_TRUE(mgr.CreateIndex(IndexDef("t", {"b", "c"})).ok());
+  EXPECT_TRUE(CheckAll(catalog_, mgr).ok());
+
+  // Mutation batch through the write hooks: inserts, updates, deletes.
+  Random rng(7);
+  for (int i = 0; i < 200; ++i) {
+    auto rid = table_->Insert({Value(int64_t(1000 + i)),
+                               Value(int64_t(i % 13)),
+                               Value("x" + std::to_string(i % 5))});
+    ASSERT_TRUE(rid.ok());
+    mgr.OnInsert("t", *rid, table_->Get(*rid));
+  }
+  for (int i = 0; i < 120; ++i) {
+    const RowId rid = rng.Uniform(table_->num_slots());
+    if (!table_->IsLive(rid)) continue;
+    if (rng.Bernoulli(0.5)) {
+      Row old_row = table_->Get(rid);
+      Row new_row = old_row;
+      new_row[1] = Value(int64_t(rng.Uniform(40)));
+      ASSERT_TRUE(table_->Update(rid, new_row).ok());
+      mgr.OnUpdate("t", rid, old_row, new_row);
+    } else {
+      const Row old_row = table_->Get(rid);
+      mgr.OnDelete("t", rid, old_row);
+      ASSERT_TRUE(table_->Delete(rid).ok());
+    }
+  }
+  CheckReport report = CheckAll(catalog_, mgr);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+
+  // Index retirement must leave the remaining accounting exact.
+  ASSERT_TRUE(mgr.DropIndex("idx_t_a").ok());
+  report = CheckAll(catalog_, mgr);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(IndexSizeModel, EstimatesScaleWithRowsAndWidth) {
+  EXPECT_GT(EstimateIndexBytes(1000000, 8), EstimateIndexBytes(1000, 8));
+  EXPECT_GT(EstimateIndexBytes(1000, 64), EstimateIndexBytes(1000, 8));
+  EXPECT_GE(EstimateIndexHeight(1000000, 8), EstimateIndexHeight(100, 8));
+  EXPECT_GE(EstimateIndexHeight(100, 8), 1u);
+  EXPECT_GT(LeafCapacityForWidth(8), LeafCapacityForWidth(128));
+}
+
+}  // namespace
+}  // namespace autoindex

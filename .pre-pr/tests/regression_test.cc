@@ -1,0 +1,149 @@
+// One-layer sigmoid regression (Sec. V-B): fitting, prediction, the
+// untrained static-weight fallback, and cross validation.
+
+#include <gtest/gtest.h>
+
+#include "ml/regression.h"
+#include "util/random.h"
+
+namespace autoindex {
+namespace {
+
+TEST(Regression, UntrainedFallsBackToStaticWeights) {
+  SigmoidRegression model;
+  EXPECT_FALSE(model.trained());
+  // Untrained: classical additive cost model (sum of features).
+  EXPECT_DOUBLE_EQ(model.Predict({1.0, 2.0, 3.0}), 6.0);
+}
+
+TEST(Regression, LearnsLinearRelation) {
+  // cost = 2*x0 + 0.5*x1 + noise-free.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Random rng(5);
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.NextDouble() * 100.0;
+    const double b = rng.NextDouble() * 100.0;
+    x.push_back({a, b});
+    y.push_back(2.0 * a + 0.5 * b);
+  }
+  SigmoidRegression model;
+  TrainConfig config;
+  config.epochs = 400;
+  model.Train(x, y, config);
+  EXPECT_TRUE(model.trained());
+
+  double total_rel_err = 0.0;
+  int n = 0;
+  for (int i = 0; i < 50; ++i) {
+    const double a = 10.0 + i;
+    const double b = 90.0 - i;
+    const double truth = 2.0 * a + 0.5 * b;
+    const double pred = model.Predict({a, b});
+    total_rel_err += std::abs(pred - truth) / truth;
+    ++n;
+  }
+  EXPECT_LT(total_rel_err / n, 0.15) << "mean relative error too high";
+}
+
+TEST(Regression, LearnedWeightsBeatStaticOnSkewedFeatures) {
+  // True cost weighs feature 0 heavily and ignores feature 1; the static
+  // equal-weight fallback must do worse than the trained model.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Random rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.NextDouble() * 10.0;
+    const double b = rng.NextDouble() * 1000.0;  // red herring
+    x.push_back({a, b});
+    y.push_back(50.0 * a);
+  }
+  SigmoidRegression trained;
+  trained.Train(x, y);
+
+  double trained_err = 0.0, static_err = 0.0;
+  SigmoidRegression untrained;
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.NextDouble() * 10.0;
+    const double b = rng.NextDouble() * 1000.0;
+    const double truth = 50.0 * a;
+    trained_err += std::abs(trained.Predict({a, b}) - truth);
+    static_err += std::abs(untrained.Predict({a, b}) - truth);
+  }
+  EXPECT_LT(trained_err, static_err * 0.5);
+}
+
+TEST(Regression, DeterministicGivenSeed) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Random rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.NextDouble();
+    x.push_back({a});
+    y.push_back(3.0 * a + 1.0);
+  }
+  SigmoidRegression m1, m2;
+  m1.Train(x, y);
+  m2.Train(x, y);
+  EXPECT_DOUBLE_EQ(m1.Predict({0.5}), m2.Predict({0.5}));
+}
+
+TEST(Regression, HandlesDegenerateInputs) {
+  SigmoidRegression model;
+  EXPECT_DOUBLE_EQ(model.Train({}, {}), 0.0);
+  EXPECT_FALSE(model.trained());
+  // Constant target.
+  std::vector<std::vector<double>> x{{1.0}, {2.0}, {3.0}};
+  std::vector<double> y{5.0, 5.0, 5.0};
+  model.Train(x, y);
+  EXPECT_NEAR(model.Predict({2.0}), 5.0, 1.5);
+}
+
+TEST(Regression, MismatchedSizesIgnored) {
+  SigmoidRegression model;
+  EXPECT_DOUBLE_EQ(model.Train({{1.0}}, {1.0, 2.0}), 0.0);
+  EXPECT_FALSE(model.trained());
+}
+
+TEST(Regression, CrossValidationRunsNineFolds) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Random rng(13);
+  for (int i = 0; i < 180; ++i) {
+    const double a = rng.NextDouble() * 10.0;
+    x.push_back({a});
+    y.push_back(4.0 * a);
+  }
+  const double rmse = SigmoidRegression::CrossValidate(x, y, 9);
+  EXPECT_GT(rmse, 0.0);
+  EXPECT_LT(rmse, 8.0);  // decent fit on a noiseless linear target
+  // Tiny datasets are skipped.
+  EXPECT_DOUBLE_EQ(SigmoidRegression::CrossValidate({{1.0}}, {1.0}, 9), 0.0);
+}
+
+// Parameterized sweep: training converges across learning rates.
+class RegressionLrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RegressionLrSweep, ConvergesAcrossLearningRates) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Random rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.NextDouble() * 50.0;
+    x.push_back({a});
+    y.push_back(2.0 * a + 10.0);
+  }
+  SigmoidRegression model;
+  TrainConfig config;
+  config.learning_rate = GetParam();
+  config.epochs = 300;
+  model.Train(x, y, config);
+  const double pred = model.Predict({25.0});
+  EXPECT_NEAR(pred, 60.0, 12.0) << "lr=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(LearningRates, RegressionLrSweep,
+                         ::testing::Values(0.01, 0.03, 0.05, 0.1));
+
+}  // namespace
+}  // namespace autoindex

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "stats/column_stats.h"
+#include "stats/stats_manager.h"
+#include "storage/catalog.h"
+#include "util/random.h"
+
+namespace autoindex {
+namespace {
+
+class StatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = catalog_.CreateTable("t", Schema({{"u", ValueType::kInt},
+                                               {"mod10", ValueType::kInt},
+                                               {"s", ValueType::kString},
+                                               {"n", ValueType::kInt}}));
+    ASSERT_TRUE(t.ok());
+    Random rng(99);
+    for (int i = 0; i < 10000; ++i) {
+      ASSERT_TRUE((*t)
+                      ->Insert({Value(int64_t(i)), Value(int64_t(i % 10)),
+                                Value("cat" + std::to_string(i % 4)),
+                                i % 5 == 0 ? Value() : Value(int64_t(i))})
+                      .ok());
+    }
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(StatsTest, BasicCounters) {
+  const ColumnStats stats = ColumnStats::Build(*catalog_.GetTable("t"), 0);
+  EXPECT_EQ(stats.num_rows(), 10000u);
+  EXPECT_EQ(stats.num_nulls(), 0u);
+  EXPECT_EQ(stats.num_distinct(), 10000u);
+  EXPECT_EQ(stats.min().AsInt(), 0);
+  EXPECT_EQ(stats.max().AsInt(), 9999);
+}
+
+TEST_F(StatsTest, NullTracking) {
+  const ColumnStats stats = ColumnStats::Build(*catalog_.GetTable("t"), 3);
+  EXPECT_EQ(stats.num_nulls(), 2000u);
+}
+
+TEST_F(StatsTest, EqualitySelectivity) {
+  const ColumnStats mod10 = ColumnStats::Build(*catalog_.GetTable("t"), 1);
+  EXPECT_EQ(mod10.num_distinct(), 10u);
+  EXPECT_NEAR(mod10.Selectivity(CompareOp::kEq, Value(int64_t(3))), 0.1,
+              0.02);
+  // Out-of-range equality has zero selectivity.
+  EXPECT_DOUBLE_EQ(mod10.Selectivity(CompareOp::kEq, Value(int64_t(99))),
+                   0.0);
+}
+
+TEST_F(StatsTest, RangeSelectivityViaHistogram) {
+  const ColumnStats u = ColumnStats::Build(*catalog_.GetTable("t"), 0);
+  EXPECT_NEAR(u.Selectivity(CompareOp::kLt, Value(int64_t(5000))), 0.5,
+              0.06);
+  EXPECT_NEAR(u.Selectivity(CompareOp::kGt, Value(int64_t(9000))), 0.1,
+              0.05);
+  EXPECT_NEAR(u.RangeSelectivity(Value(int64_t(1000)), Value(int64_t(2000))),
+              0.1, 0.05);
+  EXPECT_DOUBLE_EQ(u.RangeSelectivity(Value(int64_t(5)), Value(int64_t(1))),
+                   0.0);
+}
+
+TEST_F(StatsTest, BoundaryBehaviour) {
+  const ColumnStats u = ColumnStats::Build(*catalog_.GetTable("t"), 0);
+  EXPECT_NEAR(u.Selectivity(CompareOp::kLt, Value(int64_t(0))), 0.0, 1e-9);
+  EXPECT_NEAR(u.Selectivity(CompareOp::kGe, Value(int64_t(0))), 1.0, 1e-9);
+  EXPECT_NEAR(u.Selectivity(CompareOp::kGt, Value(int64_t(9999))), 0.0,
+              0.01);
+}
+
+TEST_F(StatsTest, InListSelectivityAdds) {
+  const ColumnStats mod10 = ColumnStats::Build(*catalog_.GetTable("t"), 1);
+  const double sel = mod10.InListSelectivity(
+      {Value(int64_t(1)), Value(int64_t(2)), Value(int64_t(3))});
+  EXPECT_NEAR(sel, 0.3, 0.05);
+}
+
+TEST_F(StatsTest, StringColumnStats) {
+  const ColumnStats s = ColumnStats::Build(*catalog_.GetTable("t"), 2);
+  EXPECT_EQ(s.num_distinct(), 4u);
+  EXPECT_NEAR(s.Selectivity(CompareOp::kEq, Value("cat2")), 0.25, 0.01);
+}
+
+TEST_F(StatsTest, ManagerCachesAndInvalidates) {
+  StatsManager mgr(&catalog_);
+  const ColumnStats* first = mgr.GetColumnStats("t", "u");
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(mgr.GetColumnStats("t", "u"), first);  // cached pointer
+  mgr.Invalidate("t");
+  const ColumnStats* second = mgr.GetColumnStats("t", "u");
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(mgr.GetColumnStats("t", "nope"), nullptr);
+  EXPECT_EQ(mgr.GetColumnStats("missing", "u"), nullptr);
+}
+
+ExprPtr WhereOf(const std::string& cond) {
+  auto stmt = ParseSql("SELECT u FROM t WHERE " + cond);
+  EXPECT_TRUE(stmt.ok()) << cond;
+  return std::move(stmt->select->where);
+}
+
+TEST_F(StatsTest, ExpressionSelectivityComposition) {
+  StatsManager mgr(&catalog_);
+  // AND multiplies.
+  EXPECT_NEAR(mgr.EstimateSelectivity(*WhereOf("mod10 = 3 AND s = 'cat1'"),
+                                      "t"),
+              0.1 * 0.25, 0.02);
+  // OR uses inclusion-exclusion.
+  EXPECT_NEAR(mgr.EstimateSelectivity(*WhereOf("mod10 = 3 OR mod10 = 4"),
+                                      "t"),
+              0.1 + 0.1 - 0.01, 0.03);
+  // NOT complements.
+  EXPECT_NEAR(mgr.EstimateSelectivity(*WhereOf("NOT (mod10 = 3)"), "t"), 0.9,
+              0.03);
+}
+
+TEST_F(StatsTest, JoinPredicateIsNeutral) {
+  StatsManager mgr(&catalog_);
+  EXPECT_DOUBLE_EQ(
+      mgr.EstimateSelectivity(*WhereOf("t.u = other.x"), "t"), 1.0);
+}
+
+TEST_F(StatsTest, SwappedLiteralComparison) {
+  StatsManager mgr(&catalog_);
+  // "5000 > u" == "u < 5000".
+  EXPECT_NEAR(mgr.EstimateSelectivity(*WhereOf("5000 > u"), "t"), 0.5, 0.06);
+}
+
+TEST_F(StatsTest, IsNullSelectivity) {
+  StatsManager mgr(&catalog_);
+  EXPECT_NEAR(mgr.EstimateSelectivity(*WhereOf("n IS NULL"), "t"), 0.2,
+              0.02);
+  EXPECT_NEAR(mgr.EstimateSelectivity(*WhereOf("n IS NOT NULL"), "t"), 0.8,
+              0.02);
+}
+
+TEST(StatsEdge, EmptyTable) {
+  Catalog catalog;
+  auto t = catalog.CreateTable("e", Schema({{"a", ValueType::kInt}}));
+  ASSERT_TRUE(t.ok());
+  const ColumnStats stats = ColumnStats::Build(**t, 0);
+  EXPECT_EQ(stats.num_rows(), 0u);
+  EXPECT_DOUBLE_EQ(stats.Selectivity(CompareOp::kEq, Value(int64_t(1))), 0.0);
+  EXPECT_DOUBLE_EQ(stats.EqSelectivity(), 0.0);
+}
+
+TEST(StatsEdge, AllNullColumn) {
+  Catalog catalog;
+  auto t = catalog.CreateTable("e", Schema({{"a", ValueType::kInt}}));
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE((*t)->Insert({Value()}).ok());
+  const ColumnStats stats = ColumnStats::Build(**t, 0);
+  EXPECT_EQ(stats.num_nulls(), 10u);
+  EXPECT_DOUBLE_EQ(stats.Selectivity(CompareOp::kEq, Value(int64_t(1))), 0.0);
+}
+
+TEST(StatsEdge, SingleValueColumn) {
+  Catalog catalog;
+  auto t = catalog.CreateTable("e", Schema({{"a", ValueType::kInt}}));
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*t)->Insert({Value(int64_t(7))}).ok());
+  }
+  const ColumnStats stats = ColumnStats::Build(**t, 0);
+  EXPECT_EQ(stats.num_distinct(), 1u);
+  EXPECT_NEAR(stats.Selectivity(CompareOp::kEq, Value(int64_t(7))), 1.0,
+              1e-9);
+  EXPECT_DOUBLE_EQ(stats.Selectivity(CompareOp::kEq, Value(int64_t(8))), 0.0);
+}
+
+}  // namespace
+}  // namespace autoindex
+
+namespace autoindex {
+namespace {
+
+TEST(Correlation, SequentialColumnFullyCorrelated) {
+  Catalog catalog;
+  auto t = catalog.CreateTable("c", Schema({{"a", ValueType::kInt}}));
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE((*t)->Insert({Value(int64_t(i))}).ok());
+  }
+  const ColumnStats stats = ColumnStats::Build(**t, 0);
+  EXPECT_GT(stats.correlation(), 0.99);
+}
+
+TEST(Correlation, ReversedColumnNegativelyCorrelated) {
+  Catalog catalog;
+  auto t = catalog.CreateTable("c", Schema({{"a", ValueType::kInt}}));
+  ASSERT_TRUE(t.ok());
+  for (int i = 5000; i > 0; --i) {
+    ASSERT_TRUE((*t)->Insert({Value(int64_t(i))}).ok());
+  }
+  const ColumnStats stats = ColumnStats::Build(**t, 0);
+  EXPECT_LT(stats.correlation(), -0.99);
+}
+
+TEST(Correlation, ShuffledColumnUncorrelated) {
+  Catalog catalog;
+  auto t = catalog.CreateTable("c", Schema({{"a", ValueType::kInt}}));
+  ASSERT_TRUE(t.ok());
+  Random rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE((*t)->Insert({Value(rng.UniformInt(0, 100000))}).ok());
+  }
+  const ColumnStats stats = ColumnStats::Build(**t, 0);
+  EXPECT_LT(std::abs(stats.correlation()), 0.1);
+}
+
+TEST(Correlation, StringColumnReportsZero) {
+  Catalog catalog;
+  auto t = catalog.CreateTable("c", Schema({{"s", ValueType::kString}}));
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*t)->Insert({Value("v" + std::to_string(i))}).ok());
+  }
+  const ColumnStats stats = ColumnStats::Build(**t, 0);
+  EXPECT_DOUBLE_EQ(stats.correlation(), 0.0);
+}
+
+}  // namespace
+}  // namespace autoindex

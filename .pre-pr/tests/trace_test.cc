@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/manager.h"
+#include "workload/epidemic.h"
+#include "workload/tpcc.h"
+#include "workload/trace.h"
+#include "workload/workload.h"
+
+namespace autoindex {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Trace, RoundTrip) {
+  const std::vector<std::string> queries = {
+      "SELECT a FROM t WHERE b = 1",
+      "INSERT INTO t VALUES (1, 'quoted ''string''')",
+      "UPDATE t SET a = 2 WHERE b = 3",
+  };
+  const std::string path = TempPath("roundtrip.trace");
+  ASSERT_TRUE(SaveWorkloadTrace(path, queries).ok());
+  auto loaded = LoadWorkloadTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ((*loaded)[i], queries[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, EscapesNewlinesAndBackslashes) {
+  const std::vector<std::string> queries = {
+      "SELECT a FROM t\nWHERE b = 1",
+      "SELECT a FROM t WHERE s = 'back\\slash'",
+      "line\r\nmix",
+  };
+  const std::string path = TempPath("escape.trace");
+  ASSERT_TRUE(SaveWorkloadTrace(path, queries).ok());
+  auto loaded = LoadWorkloadTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[0], queries[0]);
+  EXPECT_EQ((*loaded)[1], queries[1]);
+  EXPECT_EQ((*loaded)[2], queries[2]);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, EmptyWorkload) {
+  const std::string path = TempPath("empty.trace");
+  ASSERT_TRUE(SaveWorkloadTrace(path, {}).ok());
+  auto loaded = LoadWorkloadTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(Trace, MissingFileFails) {
+  auto loaded = LoadWorkloadTrace(TempPath("does_not_exist.trace"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Trace, RejectsForeignFiles) {
+  const std::string path = TempPath("foreign.txt");
+  {
+    std::ofstream out(path);
+    out << "just some text\n";
+  }
+  auto loaded = LoadWorkloadTrace(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, GeneratedWorkloadSurvivesRoundTrip) {
+  TpccConfig config;
+  const auto queries = TpccWorkload::Generate(config, 100, 5);
+  const std::string path = TempPath("tpcc.trace");
+  ASSERT_TRUE(SaveWorkloadTrace(path, queries).ok());
+  auto loaded = LoadWorkloadTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ((*loaded)[i], queries[i]) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, OfflineTuningFromTraceFile) {
+  // The paper's deployment: queries are logged server-side, the manager
+  // tunes from the log. Record a trace, reload it in a fresh manager
+  // (observe-only), and verify tuning still finds the right indexes.
+  Database db;
+  EpidemicConfig config;
+  EpidemicWorkload::Populate(&db, config);
+  const auto workload = EpidemicWorkload::PhaseW1(config, 200, 1);
+  const std::string path = TempPath("offline.trace");
+  ASSERT_TRUE(SaveWorkloadTrace(path, workload).ok());
+
+  auto loaded = LoadWorkloadTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  AutoIndexConfig ai;
+  ai.mcts.iterations = 80;
+  ai.learn_cost_model = false;
+  AutoIndexManager manager(&db, ai);
+  ObserveWorkload(&manager, *loaded);
+  TuningResult tuning = manager.RunManagementRound();
+  EXPECT_FALSE(tuning.added.empty());
+  EXPECT_GT(tuning.est_benefit, 0.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace autoindex
