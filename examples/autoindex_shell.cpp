@@ -8,17 +8,25 @@
 //   autoindex> \diagnose
 //   autoindex> \tune
 //   autoindex> \indexes
+//   autoindex> \save /tmp/aidb       (checkpoint + WAL into a directory)
+//   autoindex> \open /tmp/aidb       (recover a saved database)
+//   autoindex> \wal status
 //   autoindex> \quit
+
+#include <sys/stat.h>
 
 #include <cctype>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "check/validator.h"
 #include "core/manager.h"
 #include "engine/explain.h"
+#include "persist/snapshot.h"
 #include "util/string_util.h"
 #include "workload/workload.h"
 
@@ -74,17 +82,26 @@ void PrintIndexes(const Database& db) {
   }
 }
 
+AutoIndexConfig ShellConfig() {
+  AutoIndexConfig config;
+  config.mcts.iterations = 200;
+  return config;
+}
+
 }  // namespace
 
 int main() {
-  Database db;
-  AutoIndexConfig config;
-  config.mcts.iterations = 200;
-  AutoIndexManager manager(&db, config);
+  // The database/manager/WAL live behind pointers so \open can swap in a
+  // recovered instance. Teardown order matters: the manager observes the
+  // database, and the database holds a raw pointer to the WAL.
+  auto db = std::make_unique<Database>();
+  auto manager = std::make_unique<AutoIndexManager>(db.get(), ShellConfig());
+  std::unique_ptr<persist::Wal> wal;
 
   std::printf("AutoIndex shell — \\demo \\tune \\diagnose \\indexes "
               "\\templates \\explain [analyze] <sql> \\budget <MiB> "
-              "\\check [on|off] \\quit\n");
+              "\\check [on|off] \\save <dir> \\open <dir> "
+              "\\wal status \\quit\n");
   std::string line;
   while (true) {
     std::printf("autoindex> ");
@@ -99,19 +116,19 @@ int main() {
       iss >> cmd;
       if (cmd == "quit" || cmd == "q") break;
       if (cmd == "demo") {
-        LoadDemo(&db);
+        LoadDemo(db.get());
       } else if (cmd == "indexes") {
-        PrintIndexes(db);
+        PrintIndexes(*db);
       } else if (cmd == "templates") {
         for (const QueryTemplate* t :
-             manager.templates().TemplatesByFrequency()) {
+             manager->templates().TemplatesByFrequency()) {
           std::printf("  %8.1f  %s\n", t->frequency,
                       t->fingerprint.c_str());
         }
       } else if (cmd == "budget") {
         double mib = 0;
         if (iss >> mib) {
-          manager.set_storage_budget(
+          manager->set_storage_budget(
               static_cast<size_t>(mib * 1048576.0));
           std::printf("storage budget set to %.1f MiB\n", mib);
         } else {
@@ -123,20 +140,20 @@ int main() {
         std::string mode;
         iss >> mode;
         if (mode == "on") {
-          InstallDebugChecks(&db);
+          InstallDebugChecks(db.get());
           std::printf("debug checks on: structures validated after every "
                       "mutation batch\n");
         } else if (mode == "off") {
-          InstallDebugChecks(&db, /*install=*/false);
+          InstallDebugChecks(db.get(), /*install=*/false);
           std::printf("debug checks off\n");
         } else if (mode.empty()) {
-          const CheckReport report = CheckAll(db);
+          const CheckReport report = CheckAll(*db);
           std::printf("%s\n", report.ToString().c_str());
         } else {
           std::printf("usage: \\check [on|off]\n");
         }
       } else if (cmd == "diagnose") {
-        DiagnosisReport report = manager.Diagnose();
+        DiagnosisReport report = manager->Diagnose();
         std::printf("built=%zu unbuilt-beneficial=%zu rarely-used=%zu "
                     "negative=%zu -> problem ratio %.2f, %s\n",
                     report.built_indexes,
@@ -158,14 +175,14 @@ int main() {
             sql = std::string(Trim(sql.substr(7)));
           }
         }
-        auto plan = analyze ? ExplainAnalyzeSql(db, sql) : ExplainSql(db, sql);
+        auto plan = analyze ? ExplainAnalyzeSql(*db, sql) : ExplainSql(*db, sql);
         if (plan.ok()) {
           std::printf("%s", plan->c_str());
         } else {
           std::printf("error: %s\n", plan.status().ToString().c_str());
         }
       } else if (cmd == "tune") {
-        TuningResult r = manager.RunManagementRound();
+        TuningResult r = manager->RunManagementRound();
         std::printf("round done in %.1f ms: +%zu / -%zu indexes "
                     "(est. benefit %.1f)\n",
                     r.elapsed_ms, r.added.size(), r.removed.size(),
@@ -176,19 +193,96 @@ int main() {
         for (const IndexDef& d : r.removed) {
           std::printf("  - %s\n", d.DisplayName().c_str());
         }
+      } else if (cmd == "save") {
+        std::string dir;
+        iss >> dir;
+        if (dir.empty()) {
+          std::printf("usage: \\save <dir>\n");
+          continue;
+        }
+        ::mkdir(dir.c_str(), 0755);  // EEXIST is fine
+        StatusOr<uint64_t> version =
+            persist::SaveSnapshot(db.get(), manager.get(), dir);
+        if (!version.ok()) {
+          std::printf("save failed: %s\n",
+                      version.status().ToString().c_str());
+          continue;
+        }
+        if (wal == nullptr) {
+          // First save: start logging statements so the snapshot stays
+          // current without another \save.
+          auto created = persist::Wal::Create(persist::WalPath(dir), *version);
+          if (created.ok()) {
+            wal = std::move(*created);
+            db->set_durability_log(wal.get());
+          } else {
+            std::printf("warning: WAL not started: %s\n",
+                        created.status().ToString().c_str());
+          }
+        }
+        std::printf("saved snapshot at data version %llu to %s\n",
+                    static_cast<unsigned long long>(*version), dir.c_str());
+      } else if (cmd == "open") {
+        std::string dir;
+        iss >> dir;
+        if (dir.empty()) {
+          std::printf("usage: \\open <dir>\n");
+          continue;
+        }
+        auto fresh_db = std::make_unique<Database>();
+        auto fresh_manager =
+            std::make_unique<AutoIndexManager>(fresh_db.get(), ShellConfig());
+        persist::RecoveryReport report;
+        StatusOr<std::unique_ptr<persist::Wal>> opened = persist::OpenSnapshot(
+            fresh_db.get(), fresh_manager.get(), dir, &report);
+        if (!opened.ok()) {
+          std::printf("open failed: %s\n",
+                      opened.status().ToString().c_str());
+          continue;
+        }
+        // Swap in the recovered instance; drop the old one (manager first,
+        // then database, then its WAL).
+        manager = std::move(fresh_manager);
+        db->set_durability_log(nullptr);
+        db = std::move(fresh_db);
+        wal = std::move(*opened);
+        std::printf(
+            "recovered %zu tables (%zu rows), %zu indexes rebuilt, "
+            "%zu WAL records replayed%s, data version %llu%s\n",
+            report.tables_restored, report.rows_restored,
+            report.indexes_rebuilt, report.wal_records_replayed,
+            report.info.wal_bytes_truncated > 0 ? " (torn tail dropped)" : "",
+            static_cast<unsigned long long>(
+                report.info.recovered_data_version),
+            report.tuning_state_restored ? ", tuning state restored" : "");
+      } else if (cmd == "wal") {
+        std::string sub;
+        iss >> sub;
+        if (sub != "status") {
+          std::printf("usage: \\wal status\n");
+        } else if (wal == nullptr) {
+          std::printf("no WAL attached (use \\save <dir> or "
+                      "\\open <dir>)\n");
+        } else {
+          std::printf("wal %s: epoch=%llu records=%llu size=%llu bytes\n",
+                      wal->path().c_str(),
+                      static_cast<unsigned long long>(wal->epoch()),
+                      static_cast<unsigned long long>(wal->records_appended()),
+                      static_cast<unsigned long long>(wal->size_bytes()));
+        }
       } else {
         std::printf("unknown command \\%s\n", cmd.c_str());
       }
       continue;
     }
 
-    StatusOr<ExecResult> result = manager.ExecuteAndObserve(input);
+    StatusOr<ExecResult> result = manager->ExecuteAndObserve(input);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
     }
     PrintRows(*result);
-    const CostBreakdown cost = result->stats.ToCost(db.params());
+    const CostBreakdown cost = result->stats.ToCost(db->params());
     std::printf("(%zu rows, cost %.2f%s)\n", result->rows.size(),
                 cost.Total(),
                 result->stats.used_index ? ", via index" : "");

@@ -43,6 +43,9 @@ ctest --test-dir build-werror -L tier1 --output-on-failure
 step "bench smoke (micro benchmarks, short deterministic mode)"
 ctest --test-dir build-werror -L bench-smoke --output-on-failure
 
+step "recovery tests (snapshot/WAL crash matrix, plain build)"
+ctest --test-dir build-werror -L recovery --output-on-failure
+
 if [[ "${FAST}" == "1" ]]; then
   step "OK (fast mode: sanitizer stages skipped)"
   exit 0
@@ -62,6 +65,11 @@ step "fuzz + property tests under ASan + UBSan"
 ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
 UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
   ctest --test-dir build-asan -L 'property|fuzz' --output-on-failure
+
+step "recovery tests under ASan + UBSan"
+ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+  ctest --test-dir build-asan -L recovery --output-on-failure
 
 step "sanitizer build (TSan, -Werror)"
 cmake -B build-tsan -S . \

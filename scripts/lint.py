@@ -17,6 +17,12 @@ even on machines without clang-tidy installed:
   4. banned-random   rand()/srand()/time() break reproducibility; all
                      randomness goes through util/random.h (seeded) and
                      timing through util/timer.h.
+  5. raw-file-io     std::ofstream / std::ifstream / std::fstream (and
+                     C-style fopen) outside src/persist/ bypass the
+                     durability layer: no checksum, no Status on short
+                     reads, no atomic-rename writes. File IO goes through
+                     persist/io.h (ReadFileToString / AtomicWriteFile) or
+                     a persist file format.
 
 Usage: scripts/lint.py [paths...]   (default: src)
 Exit code 0 when clean, 1 when any rule fires.
@@ -34,6 +40,13 @@ SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
 # Files allowed to use raw new/delete: the B+Tree does manual node
 # surgery during splits/merges and documents its ownership protocol.
 RAW_NEW_ALLOWLIST = {os.path.join("src", "index", "btree.cc")}
+
+# Directory whose files implement the checked IO primitives and so may
+# touch raw streams/descriptors themselves.
+RAW_FILE_IO_ALLOWDIR = os.path.join("src", "persist")
+
+RAW_FILE_IO_RE = re.compile(
+    r"\bstd\s*::\s*(?:o|i)?fstream\b|(?<![\w.>])fopen\s*\(")
 
 BANNED_CALLS = {
     "rand": "use autoindex::Random (util/random.h) for reproducibility",
@@ -145,6 +158,8 @@ def lint_file(rel, status_names, problems):
 
     allow_raw = rel.replace(os.sep, "/") in {
         p.replace(os.sep, "/") for p in RAW_NEW_ALLOWLIST}
+    allow_raw_io = rel.replace(os.sep, "/").startswith(
+        RAW_FILE_IO_ALLOWDIR.replace(os.sep, "/") + "/")
 
     call_re = None
     if status_names:
@@ -163,6 +178,12 @@ def lint_file(rel, status_names, problems):
             if re.search(r"\bdelete(\[\])?\s+[A-Za-z_*(]", code):
                 problems.append((rel, lineno, "raw-new-delete",
                                  "raw 'delete'; use owning smart pointers"))
+
+        if not allow_raw_io and RAW_FILE_IO_RE.search(code):
+            problems.append(
+                (rel, lineno, "raw-file-io",
+                 "unchecked stream IO; use persist/io.h "
+                 "(ReadFileToString/AtomicWriteFile) or a persist format"))
 
         for name, why in BANNED_CALLS.items():
             # Bare calls only: `rand(`, `std::time(`, not `x.time(` or

@@ -1,0 +1,48 @@
+#include "check/recovery_validator.h"
+
+#include "engine/database.h"
+#include "util/string_util.h"
+
+namespace autoindex {
+
+Status ValidateRecovery(const Database& db, const RecoveryInfo& info) {
+  if (info.wal_epoch > info.checkpoint_data_version) {
+    return Status::Internal(
+        StrCat("recovery: WAL epoch ", info.wal_epoch,
+               " is beyond the checkpoint's data version ",
+               info.checkpoint_data_version,
+               " (the log extends a checkpoint that no longer exists)"));
+  }
+  uint64_t prev = info.checkpoint_data_version;
+  for (uint64_t version : info.replayed_data_versions) {
+    if (version <= prev) {
+      return Status::Internal(
+          StrCat("recovery: replayed record at data version ", version,
+                 " does not advance past ", prev,
+                 " (replay reordered or re-applied a record)"));
+    }
+    prev = version;
+  }
+  if (info.recovered_data_version != prev) {
+    return Status::Internal(
+        StrCat("recovery: database data version ",
+               info.recovered_data_version, " after recovery, expected ",
+               prev));
+  }
+  if (db.data_version() != info.recovered_data_version) {
+    return Status::Internal(
+        StrCat("recovery: live data version ", db.data_version(),
+               " disagrees with the recorded recovered version ",
+               info.recovered_data_version));
+  }
+  const CheckReport report = CheckAll(db);
+  if (!report.ok()) {
+    return Status::Internal(
+        StrCat("recovery: structural check failed on the recovered "
+               "database: ",
+               report.ToString()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace autoindex

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/validator.h"
+
+namespace autoindex {
+
+class Database;
+
+// What recovery (src/persist/snapshot.cc) observed while loading a
+// checkpoint and replaying its WAL tail. A plain struct so the check layer
+// never depends on the persist layer's file formats.
+struct RecoveryInfo {
+  // Data version recorded in the checkpoint's meta section.
+  uint64_t checkpoint_data_version = 0;
+  // Epoch of the WAL the tail was replayed from (0 when no WAL existed).
+  uint64_t wal_epoch = 0;
+  // Data versions of the WAL records actually applied, in replay order.
+  std::vector<uint64_t> replayed_data_versions;
+  // Bytes dropped from the WAL's torn tail.
+  uint64_t wal_bytes_truncated = 0;
+  // The database's data version after recovery finished.
+  uint64_t recovered_data_version = 0;
+};
+
+// Post-recovery consistency gate: the structural CheckAll sweep over the
+// reloaded database, plus the recovery protocol's own invariants —
+//   - the WAL epoch never exceeds the checkpoint's data version (a newer
+//     epoch means the log belongs to a checkpoint that was lost);
+//   - replayed record versions are strictly increasing and all beyond the
+//     checkpoint (replay must neither reorder nor re-apply);
+//   - the recovered data version equals the checkpoint's or the last
+//     replayed record's, whichever is later.
+// Returns Ok when the recovered state is consistent; Internal naming the
+// first violation otherwise.
+Status ValidateRecovery(const Database& db, const RecoveryInfo& info);
+
+}  // namespace autoindex

@@ -1,6 +1,10 @@
 #include "core/benefit_estimator.h"
 
+#include <algorithm>
 #include <functional>
+#include <map>
+
+#include "persist/serde.h"
 
 namespace autoindex {
 
@@ -186,6 +190,74 @@ double IndexBenefitEstimator::FeedbackCostRatio(
   const PathFeedback& agg = it->second;
   if (agg.est_cost_sum <= 0.0) return 1.0;
   return agg.actual_cost_sum / agg.est_cost_sum;
+}
+
+void IndexBenefitEstimator::Save(persist::Writer* w) const {
+  model_.Save(w);
+  {
+    std::lock_guard<std::mutex> lock(obs_mu_);
+    w->PutU32(static_cast<uint32_t>(features_.size()));
+    for (size_t i = 0; i < features_.size(); ++i) {
+      w->PutU32(static_cast<uint32_t>(features_[i].size()));
+      for (double v : features_[i]) w->PutDouble(v);
+      w->PutDouble(targets_[i]);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(feedback_mu_);
+    // std::map sorts the path keys for byte-stable snapshots.
+    const std::map<std::string, PathFeedback> sorted(path_feedback_.begin(),
+                                                     path_feedback_.end());
+    w->PutU32(static_cast<uint32_t>(sorted.size()));
+    for (const auto& [key, agg] : sorted) {
+      w->PutString(key);
+      w->PutDouble(agg.est_cost_sum);
+      w->PutDouble(agg.actual_cost_sum);
+      w->PutDouble(agg.est_rows_sum);
+      w->PutDouble(agg.actual_rows_sum);
+      w->PutU64(agg.count);
+    }
+    w->PutU64(num_feedback_pairs_);
+  }
+}
+
+void IndexBenefitEstimator::Load(persist::Reader* r) {
+  model_ = SigmoidRegression::Load(r);
+  {
+    std::lock_guard<std::mutex> lock(obs_mu_);
+    features_.clear();
+    targets_.clear();
+    const uint32_t nobs = r->GetU32();
+    for (uint32_t i = 0; i < nobs && r->ok(); ++i) {
+      std::vector<double> row;
+      const uint32_t width = r->GetU32();
+      row.reserve(std::min<size_t>(width, r->remaining()));
+      for (uint32_t j = 0; j < width && r->ok(); ++j) {
+        row.push_back(r->GetDouble());
+      }
+      features_.push_back(std::move(row));
+      targets_.push_back(r->GetDouble());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(feedback_mu_);
+    path_feedback_.clear();
+    const uint32_t npaths = r->GetU32();
+    for (uint32_t i = 0; i < npaths && r->ok(); ++i) {
+      const std::string key = r->GetString();
+      PathFeedback agg;
+      agg.est_cost_sum = r->GetDouble();
+      agg.actual_cost_sum = r->GetDouble();
+      agg.est_rows_sum = r->GetDouble();
+      agg.actual_rows_sum = r->GetDouble();
+      agg.count = r->GetU64();
+      if (!r->ok()) break;
+      path_feedback_[key] = agg;
+    }
+    num_feedback_pairs_ = r->GetU64();
+  }
+  // The memo was computed by a different process at a different epoch.
+  InvalidateCache();
 }
 
 }  // namespace autoindex

@@ -13,6 +13,11 @@
 
 namespace autoindex {
 
+namespace persist {
+class Reader;
+class Writer;
+}  // namespace persist
+
 // The workload model index benefits are computed against: the templates
 // with their (decayed) frequencies. Cost of the workload under a config =
 // sum over templates of frequency * estimated statement cost.
@@ -93,6 +98,13 @@ class IndexBenefitEstimator {
   // underestimates it. 1.0 when unseen or the estimate is degenerate.
   double FeedbackCostRatio(const std::string& table,
                            const std::string& index) const;
+
+  // Snapshot serialization (src/persist/): the learned model, the
+  // observation history, and the per-path feedback aggregates round-trip;
+  // the epoch-guarded cost memo is deliberately not saved (it rebuilds
+  // lazily and its epoch would be stale anyway).
+  void Save(persist::Writer* w) const;
+  void Load(persist::Reader* r);
 
  private:
   struct PathFeedback {

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "persist/serde.h"
+
 namespace autoindex {
 
 AutoIndexManager::AutoIndexManager(Database* db, AutoIndexConfig config)
@@ -168,6 +170,27 @@ TuningResult AutoIndexManager::RunManagementRound(bool apply) {
   result.elapsed_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
   return result;
+}
+
+void AutoIndexManager::SaveTuningState(persist::Writer* w) const {
+  w->PutU64(rounds_run_);
+  w->PutU64(sample_rng_.state0());
+  w->PutU64(sample_rng_.state1());
+  templates_->Save(w);
+  estimator_->Save(w);
+  selector_->SaveTree(w);
+}
+
+Status AutoIndexManager::LoadTuningState(persist::Reader* r) {
+  rounds_run_ = r->GetU64();
+  const uint64_t s0 = r->GetU64();
+  const uint64_t s1 = r->GetU64();
+  sample_rng_.SetState(s0, s1);
+  templates_->Load(r);
+  estimator_->Load(r);
+  Status s = selector_->LoadTree(r);
+  if (!s.ok()) return s;
+  return r->status();
 }
 
 }  // namespace autoindex

@@ -14,6 +14,11 @@
 
 namespace autoindex {
 
+namespace persist {
+class Reader;
+class Writer;
+}  // namespace persist
+
 struct AutoIndexConfig {
   size_t template_capacity = 5000;
   size_t storage_budget_bytes = 0;  // 0 = unlimited
@@ -91,6 +96,13 @@ class AutoIndexManager {
   Database& db() { return *db_; }
   const AutoIndexConfig& config() const { return config_; }
   void set_storage_budget(size_t bytes);
+
+  // Snapshot serialization (src/persist/): the complete tuning state —
+  // template store, estimator (model, history, feedback), MCTS policy
+  // tree, sampling rng, and round counter — so a restarted manager resumes
+  // tuning exactly where the saved one stopped.
+  void SaveTuningState(persist::Writer* w) const;
+  Status LoadTuningState(persist::Reader* r);
 
  private:
   Database* db_;

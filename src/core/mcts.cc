@@ -4,6 +4,8 @@
 #include <cmath>
 #include <deque>
 
+#include "persist/serde.h"
+#include "persist/sql_serde.h"
 #include "util/string_util.h"
 
 namespace autoindex {
@@ -386,6 +388,127 @@ bool MctsIndexSelector::TestOnlyCorruptBenefit() {
   if (root_ == nullptr) return false;
   root_->benefit = 2.0;
   return true;
+}
+
+namespace {
+
+void PutIndexConfig(persist::Writer* w, const IndexConfig& config) {
+  w->PutU32(static_cast<uint32_t>(config.defs().size()));
+  for (const IndexDef& def : config.defs()) persist::PutIndexDef(w, def);
+}
+
+IndexConfig GetIndexConfig(persist::Reader* r) {
+  IndexConfig config;
+  const uint32_t n = r->GetU32();
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    config.Add(persist::GetIndexDef(r));
+  }
+  return config;
+}
+
+}  // namespace
+
+void MctsIndexSelector::SaveTree(persist::Writer* w) const {
+  std::lock_guard<std::mutex> lock(tree_mu_);
+  w->PutU64(rng_.state0());
+  w->PutU64(rng_.state1());
+  w->PutU64(generation_);
+  w->PutBool(root_ != nullptr);
+  if (root_ == nullptr) return;
+  // Iterative pre-order: a node's fields, then its children in order.
+  // Explicit stack — the policy tree's depth is workload-dependent and
+  // recursion would put it on the call stack.
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    PutIndexConfig(w, n->config);
+    w->PutU8(static_cast<uint8_t>(n->incoming.kind));
+    persist::PutIndexDef(w, n->incoming.def);
+    w->PutDouble(n->benefit);
+    w->PutU64(n->visits);
+    w->PutBool(n->expanded);
+    w->PutU64(n->eval_generation);
+    w->PutU32(static_cast<uint32_t>(n->children.size()));
+    for (auto it = n->children.rbegin(); it != n->children.rend(); ++it) {
+      stack.push_back(it->get());
+    }
+  }
+}
+
+Status MctsIndexSelector::LoadTree(persist::Reader* r) {
+  {
+    std::lock_guard<std::mutex> lock(tree_mu_);
+    const uint64_t s0 = r->GetU64();
+    const uint64_t s1 = r->GetU64();
+    rng_.SetState(s0, s1);
+    generation_ = r->GetU64();
+    root_.reset();
+    tree_size_.store(0, std::memory_order_relaxed);
+    if (r->GetBool()) {
+      const auto read_node = [r](Node* parent,
+                                 uint32_t* nchildren) -> std::unique_ptr<Node> {
+        auto n = std::make_unique<Node>();
+        n->config = GetIndexConfig(r);
+        const uint8_t kind = r->GetU8();
+        if (kind > static_cast<uint8_t>(IndexAction::kRemove)) {
+          r->Fail(Status::InvalidArgument(
+              StrCat("bad action kind tag ", static_cast<int>(kind))));
+          return nullptr;
+        }
+        n->incoming.kind = static_cast<IndexAction::Kind>(kind);
+        n->incoming.def = persist::GetIndexDef(r);
+        n->benefit = r->GetDouble();
+        n->visits = r->GetU64();
+        n->expanded = r->GetBool();
+        n->eval_generation = r->GetU64();
+        *nchildren = r->GetU32();
+        n->parent = parent;
+        if (!r->ok()) return nullptr;
+        return n;
+      };
+      struct Pending {
+        Node* node;
+        uint32_t remaining;
+      };
+      uint32_t nchildren = 0;
+      root_ = read_node(nullptr, &nchildren);
+      size_t count = root_ == nullptr ? 0 : 1;
+      std::vector<Pending> stack;
+      if (root_ != nullptr) stack.push_back({root_.get(), nchildren});
+      while (r->ok() && !stack.empty()) {
+        if (stack.back().remaining == 0) {
+          stack.pop_back();
+          continue;
+        }
+        --stack.back().remaining;
+        Node* parent = stack.back().node;
+        std::unique_ptr<Node> child = read_node(parent, &nchildren);
+        if (child == nullptr) break;
+        ++count;
+        Node* raw = child.get();
+        parent->children.push_back(std::move(child));
+        stack.push_back({raw, nchildren});
+      }
+      if (!r->ok()) {
+        root_.reset();
+        return r->status();
+      }
+      if (root_ == nullptr) {
+        return Status::InvalidArgument("MCTS tree payload missing root");
+      }
+      tree_size_.store(count, std::memory_order_relaxed);
+    }
+  }
+  // Validation re-takes tree_mu_, so it must run outside the scope above.
+  Status s = ValidateTree();
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(tree_mu_);
+    root_.reset();
+    tree_size_.store(0, std::memory_order_relaxed);
+    return s;
+  }
+  return Status::Ok();
 }
 
 }  // namespace autoindex

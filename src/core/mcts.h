@@ -13,6 +13,11 @@
 
 namespace autoindex {
 
+namespace persist {
+class Reader;
+class Writer;
+}  // namespace persist
+
 struct MctsConfig {
   // Search iterations per management round.
   size_t iterations = 200;
@@ -103,6 +108,14 @@ class MctsIndexSelector {
   void set_storage_budget(size_t bytes) {
     config_.storage_budget_bytes = bytes;
   }
+
+  // Snapshot serialization (src/persist/): the whole persistent policy
+  // tree (pre-order, iterative — no recursion depth limit), the rng state,
+  // and the evaluation generation round-trip, so a reloaded selector's
+  // next Run() explores identically to the live one's. LoadTree replaces
+  // the current tree and validates the result.
+  void SaveTree(persist::Writer* w) const;
+  Status LoadTree(persist::Reader* r);
 
  private:
   struct Node;

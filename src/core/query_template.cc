@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "persist/serde.h"
+#include "persist/sql_serde.h"
 #include "sql/fingerprint.h"
 #include "sql/parser.h"
 
@@ -114,6 +116,54 @@ std::vector<const QueryTemplate*> TemplateStore::TemplatesByFrequency()
               return a->id < b->id;
             });
   return out;
+}
+
+void TemplateStore::Save(persist::Writer* w) const {
+  w->PutU64(next_id_);
+  w->PutU64(round_);
+  w->PutU64(total_observed_);
+  w->PutU64(matched_since_reset_);
+  w->PutU64(observed_since_reset_);
+  // Id order (not hash-map order) keeps snapshot bytes deterministic.
+  std::vector<const QueryTemplate*> sorted;
+  sorted.reserve(templates_.size());
+  for (const auto& [_, t] : templates_) sorted.push_back(t.get());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const QueryTemplate* a, const QueryTemplate* b) {
+              return a->id < b->id;
+            });
+  w->PutU32(static_cast<uint32_t>(sorted.size()));
+  for (const QueryTemplate* t : sorted) {
+    w->PutU64(t->id);
+    w->PutString(t->fingerprint);
+    persist::PutStatement(w, t->representative);
+    w->PutDouble(t->frequency);
+    w->PutU64(t->total_matches);
+    w->PutU64(t->last_seen_round);
+    w->PutBool(t->is_write);
+  }
+}
+
+void TemplateStore::Load(persist::Reader* r) {
+  templates_.clear();
+  next_id_ = r->GetU64();
+  round_ = r->GetU64();
+  total_observed_ = r->GetU64();
+  matched_since_reset_ = r->GetU64();
+  observed_since_reset_ = r->GetU64();
+  const uint32_t n = r->GetU32();
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    auto t = std::make_unique<QueryTemplate>();
+    t->id = r->GetU64();
+    t->fingerprint = r->GetString();
+    t->representative = persist::GetStatement(r);
+    t->frequency = r->GetDouble();
+    t->total_matches = r->GetU64();
+    t->last_seen_round = r->GetU64();
+    t->is_write = r->GetBool();
+    if (!r->ok()) break;
+    templates_[t->fingerprint] = std::move(t);
+  }
 }
 
 }  // namespace autoindex

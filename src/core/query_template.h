@@ -9,6 +9,11 @@
 
 namespace autoindex {
 
+namespace persist {
+class Reader;
+class Writer;
+}  // namespace persist
+
 // One query template: the shared access pattern of all queries with the
 // same fingerprint (Sec. IV-A step 1). The representative statement is the
 // first instance observed; candidate generation reads its structure (which
@@ -63,6 +68,13 @@ class TemplateStore {
   size_t size() const { return templates_.size(); }
   size_t capacity() const { return capacity_; }
   size_t total_observed() const { return total_observed_; }
+
+  // Snapshot serialization (src/persist/): templates in id order plus the
+  // counters, so a reloaded store matches, decays, and assigns new ids
+  // exactly where the saved one stopped. Load replaces the store contents
+  // (capacity keeps its constructed value).
+  void Save(persist::Writer* w) const;
+  void Load(persist::Reader* r);
 
  private:
   void EvictLowestFrequency();

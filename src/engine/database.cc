@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "engine/durability.h"
 #include "engine/session.h"
 
 namespace autoindex {
@@ -78,9 +79,24 @@ void Database::DeliverFeedback(const std::vector<AccessPathFeedback>& batch) {
   if (feedback_hook_) feedback_hook_(batch);
 }
 
+Status Database::CommitDurable(const std::function<Status(uint64_t)>& append) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  const uint64_t version = BumpDataVersion();
+  if (durability_log_ == nullptr) return Status::Ok();
+  return append(version);
+}
+
 StatusOr<HeapTable*> Database::CreateTable(const std::string& name,
                                            Schema schema) {
-  return catalog_->CreateTable(name, std::move(schema));
+  // The WAL record needs the schema after the catalog takes ownership.
+  StatusOr<HeapTable*> table = catalog_->CreateTable(name, std::move(schema));
+  if (!table.ok()) return table;
+  Status logged = CommitDurable([&](uint64_t version) {
+    return durability_log_->AppendCreateTable(name, (*table)->schema(),
+                                              version);
+  });
+  if (!logged.ok()) return logged;
+  return table;
 }
 
 Status Database::CreateIndex(const IndexDef& def) {
@@ -88,9 +104,15 @@ Status Database::CreateIndex(const IndexDef& def) {
   // be visible to statement lowering.
   LatchManager::Guard guard = latches_.AcquireExclusive(def.table);
   Status s = index_manager_->CreateIndex(def);
+  if (s.ok()) {
+    // Logged under the latch so no later mutation of this table can slip
+    // into the log ahead of the index build that observed it.
+    s = CommitDurable([&](uint64_t version) {
+      return durability_log_->AppendCreateIndex(def, version);
+    });
+  }
   guard.Release();
   if (!s.ok()) return s;
-  BumpDataVersion();
   return RunInvariantHook();
 }
 
@@ -99,9 +121,13 @@ Status Database::DropIndex(const std::string& key_or_name) {
   LatchManager::Guard guard;
   if (!table.empty()) guard = latches_.AcquireExclusive(table);
   Status s = index_manager_->DropIndex(key_or_name);
+  if (s.ok()) {
+    s = CommitDurable([&](uint64_t version) {
+      return durability_log_->AppendDropIndex(key_or_name, version);
+    });
+  }
   guard.Release();
   if (!s.ok()) return s;
-  BumpDataVersion();
   return RunInvariantHook();
 }
 
@@ -119,16 +145,24 @@ StatusOr<ExecResult> Database::ExecuteOn(Executor* executor,
                                          const Statement& stmt) {
   LatchManager::Guard guard = latches_.Acquire(StatementLatches(stmt));
   StatusOr<ExecResult> result = executor->Execute(stmt);
+  if (result.ok() && stmt.IsWrite()) {
+    // Logged while the exclusive table latch is still held, so WAL order
+    // equals execution order for every table.
+    Status logged = CommitDurable([&](uint64_t version) {
+      return durability_log_->AppendStatement(stmt, version);
+    });
+    if (!logged.ok()) {
+      guard.Release();
+      return logged;
+    }
+  }
   // Release before the invariant hook: CheckAll re-latches every table in
   // one sorted acquisition, and acquiring more tables while still holding
   // this statement's set could break the global lock order.
   guard.Release();
-  if (result.ok() && stmt.IsWrite()) {
-    BumpDataVersion();
-    if (debug_checks_enabled()) {
-      Status s = RunInvariantHook();
-      if (!s.ok()) return s;
-    }
+  if (result.ok() && stmt.IsWrite() && debug_checks_enabled()) {
+    Status s = RunInvariantHook();
+    if (!s.ok()) return s;
   }
   return result;
 }
@@ -136,14 +170,21 @@ StatusOr<ExecResult> Database::ExecuteOn(Executor* executor,
 Status Database::BulkInsert(const std::string& table, std::vector<Row> rows) {
   HeapTable* t = catalog_->GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
+  // Insert moves the rows away, so the WAL copy is taken up front (only
+  // when a log is attached — the population fast path stays copy-free).
+  std::vector<Row> logged_rows;
+  if (durability_log_ != nullptr) logged_rows = rows;
   LatchManager::Guard guard = latches_.AcquireExclusive(table);
   for (Row& row : rows) {
     StatusOr<RowId> rid = t->Insert(std::move(row));
     if (!rid.ok()) return rid.status();
     index_manager_->OnInsert(table, *rid, t->Get(*rid));
   }
+  Status logged = CommitDurable([&](uint64_t version) {
+    return durability_log_->AppendBulkInsert(table, logged_rows, version);
+  });
   guard.Release();
-  BumpDataVersion();
+  if (!logged.ok()) return logged;
   // One check for the whole batch — per-row validation would make bulk
   // loads quadratic under debug checks.
   return RunInvariantHook();
@@ -151,13 +192,18 @@ Status Database::BulkInsert(const std::string& table, std::vector<Row> rows) {
 
 void Database::Analyze() {
   stats_manager_->AnalyzeAll();
-  // Fresh statistics change every what-if estimate.
-  BumpDataVersion();
+  // Fresh statistics change every what-if estimate; logged so replay
+  // rebuilds the same statistics (and thus the same cost estimates).
+  (void)CommitDurable([&](uint64_t version) {
+    return durability_log_->AppendAnalyze(std::string(), version);
+  });
 }
 
 void Database::Analyze(const std::string& table) {
   stats_manager_->Analyze(table);
-  BumpDataVersion();
+  (void)CommitDurable([&](uint64_t version) {
+    return durability_log_->AppendAnalyze(table, version);
+  });
 }
 
 IndexConfig Database::CurrentConfig() const {

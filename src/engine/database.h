@@ -18,6 +18,7 @@
 
 namespace autoindex {
 
+class DurabilityLog;
 class Session;
 
 // The top-level database façade: catalog + indexes + statistics + executor
@@ -91,9 +92,25 @@ class Database {
   uint64_t data_version() const {
     return data_version_.load(std::memory_order_acquire);
   }
-  void BumpDataVersion() {
-    data_version_.fetch_add(1, std::memory_order_acq_rel);
+  // Returns the new (post-bump) version, which the durability layer stamps
+  // on the corresponding WAL record.
+  uint64_t BumpDataVersion() {
+    return data_version_.fetch_add(1, std::memory_order_acq_rel) + 1;
   }
+  // Recovery only: forces the counter to the version recorded by the
+  // checkpoint/WAL, so epochs survive a restart.
+  void RestoreDataVersion(uint64_t version) {
+    data_version_.store(version, std::memory_order_release);
+  }
+
+  // --- Durability (src/persist/) ---
+  // Attaches a write-ahead log. Every committed mutation is appended to it
+  // under wal_mu_, paired atomically with its data-version bump, so record
+  // order in the log always matches version order. Null detaches. Not
+  // thread-safe against in-flight statements: attach/detach while quiesced
+  // (startup, recovery, checkpoint).
+  void set_durability_log(DurabilityLog* log) { durability_log_ = log; }
+  DurabilityLog* durability_log() const { return durability_log_; }
 
   // --- Correctness tooling (src/check/) ---
   // Debug-mode invariant hook: when installed, it runs after every
@@ -134,14 +151,23 @@ class Database {
   IndexManager& index_manager() { return *index_manager_; }
   const IndexManager& index_manager() const { return *index_manager_; }
   StatsManager& stats_manager() { return *stats_manager_; }
+  const StatsManager& stats_manager() const { return *stats_manager_; }
   const WhatIfCostModel& what_if() const { return *what_if_; }
   const CostParams& params() const { return params_; }
 
  private:
+  // Bumps the data version and, when a durability log is attached, appends
+  // the record via `append(new_version)` — both under wal_mu_ so
+  // concurrent writers cannot interleave their (bump, append) pairs.
+  Status CommitDurable(const std::function<Status(uint64_t)>& append);
+
   CostParams params_;
   InvariantHook invariant_hook_;
   mutable LatchManager latches_;
   std::atomic<uint64_t> data_version_{1};
+  DurabilityLog* durability_log_ = nullptr;
+  // Serializes (data-version bump, WAL append) pairs across writers.
+  std::mutex wal_mu_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<IndexManager> index_manager_;
   std::unique_ptr<StatsManager> stats_manager_;

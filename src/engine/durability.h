@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/index_def.h"
+#include "sql/statement.h"
+#include "storage/schema.h"
+#include "util/status.h"
+
+namespace autoindex {
+
+// The engine's view of a write-ahead log. Database calls one Append per
+// committed mutation — while still holding the statement's exclusive table
+// latch, with the data version the mutation was assigned — and the
+// implementation (src/persist/wal.h) makes it durable. An abstract
+// interface keeps the dependency arrow pointing the right way: the engine
+// knows nothing about file formats, and src/persist layers on top of it.
+//
+// Append failures are surfaced as the mutating operation's status: the
+// change is applied in memory but not durable, and the caller must treat
+// the database as failed (a crash now would lose the statement).
+class DurabilityLog {
+ public:
+  virtual ~DurabilityLog() = default;
+
+  // A committed INSERT/UPDATE/DELETE statement.
+  virtual Status AppendStatement(const Statement& stmt,
+                                 uint64_t data_version) = 0;
+  virtual Status AppendCreateTable(const std::string& name,
+                                   const Schema& schema,
+                                   uint64_t data_version) = 0;
+  virtual Status AppendCreateIndex(const IndexDef& def,
+                                   uint64_t data_version) = 0;
+  virtual Status AppendDropIndex(const std::string& key_or_name,
+                                 uint64_t data_version) = 0;
+  virtual Status AppendBulkInsert(const std::string& table,
+                                  const std::vector<Row>& rows,
+                                  uint64_t data_version) = 0;
+  // `table` empty = ANALYZE of every table.
+  virtual Status AppendAnalyze(const std::string& table,
+                               uint64_t data_version) = 0;
+
+  // A checkpoint at `checkpoint_data_version` has been made durable; the
+  // log may discard everything at or below it.
+  virtual Status OnCheckpoint(uint64_t checkpoint_data_version) = 0;
+};
+
+}  // namespace autoindex

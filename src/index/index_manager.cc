@@ -20,6 +20,22 @@ size_t EffectiveKeyWidth(const IndexDef& def, const HeapTable& table) {
   return width;
 }
 
+// Deterministic iteration order for the accessors: the backing map is an
+// unordered_map, but snapshots serialize whatever order AllIndexes /
+// IndexesOnTable return, so they sort by display name (key as tiebreak —
+// display names can collide across index kinds) to keep checkpoint bytes
+// stable across runs.
+template <typename IndexPtr>
+void SortByDisplayName(std::vector<IndexPtr>* indexes) {
+  std::sort(indexes->begin(), indexes->end(),
+            [](const IndexPtr& a, const IndexPtr& b) {
+              const std::string an = a->def().DisplayName();
+              const std::string bn = b->def().DisplayName();
+              if (an != bn) return an < bn;
+              return a->def().Key() < b->def().Key();
+            });
+}
+
 }  // namespace
 
 BuiltIndex::BuiltIndex(IndexDef def, const HeapTable& table)
@@ -204,6 +220,7 @@ std::vector<BuiltIndex*> IndexManager::IndexesOnTable(
   for (auto& [_, index] : indexes_) {
     if (index->def().table == key) out.push_back(index.get());
   }
+  SortByDisplayName(&out);
   return out;
 }
 
@@ -215,6 +232,7 @@ std::vector<const BuiltIndex*> IndexManager::IndexesOnTable(
   for (const auto& [_, index] : indexes_) {
     if (index->def().table == key) out.push_back(index.get());
   }
+  SortByDisplayName(&out);
   return out;
 }
 
@@ -223,6 +241,7 @@ std::vector<BuiltIndex*> IndexManager::AllIndexes() {
   std::vector<BuiltIndex*> out;
   out.reserve(indexes_.size());
   for (auto& [_, index] : indexes_) out.push_back(index.get());
+  SortByDisplayName(&out);
   return out;
 }
 
@@ -231,6 +250,7 @@ std::vector<const BuiltIndex*> IndexManager::AllIndexes() const {
   std::vector<const BuiltIndex*> out;
   out.reserve(indexes_.size());
   for (const auto& [_, index] : indexes_) out.push_back(index.get());
+  SortByDisplayName(&out);
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "persist/serde.h"
+
 namespace autoindex {
 
 double SigmoidRegression::Sigmoid(double z) {
@@ -166,6 +168,38 @@ double SigmoidRegression::CrossValidate(
     }
   }
   return total_count == 0 ? 0.0 : std::sqrt(total_sq / total_count);
+}
+
+void SigmoidRegression::Save(persist::Writer* w) const {
+  w->PutBool(trained_);
+  w->PutU32(static_cast<uint32_t>(weights_.size()));
+  for (double v : weights_) w->PutDouble(v);
+  w->PutDouble(bias_);
+  w->PutU32(static_cast<uint32_t>(feat_mean_.size()));
+  for (double v : feat_mean_) w->PutDouble(v);
+  w->PutU32(static_cast<uint32_t>(feat_std_.size()));
+  for (double v : feat_std_) w->PutDouble(v);
+  w->PutDouble(y_min_);
+  w->PutDouble(y_max_);
+}
+
+SigmoidRegression SigmoidRegression::Load(persist::Reader* r) {
+  SigmoidRegression model;
+  const auto get_doubles = [r](std::vector<double>* out) {
+    const uint32_t n = r->GetU32();
+    out->reserve(std::min<size_t>(n, r->remaining()));
+    for (uint32_t i = 0; i < n && r->ok(); ++i) {
+      out->push_back(r->GetDouble());
+    }
+  };
+  model.trained_ = r->GetBool();
+  get_doubles(&model.weights_);
+  model.bias_ = r->GetDouble();
+  get_doubles(&model.feat_mean_);
+  get_doubles(&model.feat_std_);
+  model.y_min_ = r->GetDouble();
+  model.y_max_ = r->GetDouble();
+  return model;
 }
 
 }  // namespace autoindex

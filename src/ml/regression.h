@@ -7,6 +7,11 @@
 
 namespace autoindex {
 
+namespace persist {
+class Reader;
+class Writer;
+}  // namespace persist
+
 // The paper's deep index-estimation model (Sec. V-B): a one-layer
 // regression `cost = Sigmoid(W·C + b)` whose weights are learned from
 // historical (cost-feature, measured-cost) pairs. Targets are min-max
@@ -49,6 +54,12 @@ class SigmoidRegression {
   static double CrossValidate(const std::vector<std::vector<double>>& x,
                               const std::vector<double>& y, size_t folds = 9,
                               const TrainConfig& config = TrainConfig());
+
+  // Snapshot serialization (src/persist/): weights, bias, and the scaler
+  // parameters round-trip bit-exactly, so a reloaded model predicts
+  // identical costs.
+  void Save(persist::Writer* w) const;
+  static SigmoidRegression Load(persist::Reader* r);
 
  private:
   static double Sigmoid(double z);

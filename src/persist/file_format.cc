@@ -1,0 +1,108 @@
+#include "persist/file_format.h"
+
+#include "persist/io.h"
+#include "util/string_util.h"
+
+namespace autoindex {
+namespace persist {
+
+namespace {
+// id + size + crc.
+constexpr size_t kSectionHeaderBytes = 4 + 8 + 4;
+}  // namespace
+
+FileWriter::FileWriter(const std::string& magic, uint32_t version)
+    : magic_(magic), version_(version) {
+  magic_.resize(kMagicBytes, '\0');
+}
+
+void FileWriter::AddSection(uint32_t id, const Writer& payload) {
+  sections_.push_back({id, payload.buffer()});
+}
+
+std::string FileWriter::Serialize() const {
+  Writer w;
+  w.PutBytes(magic_.data(), kMagicBytes);
+  w.PutU32(version_);
+  for (const Section& section : sections_) {
+    w.PutU32(section.id);
+    w.PutU64(section.payload.size());
+    w.PutU32(Crc32(section.payload.data(), section.payload.size()));
+    w.PutBytes(section.payload.data(), section.payload.size());
+  }
+  return w.buffer();
+}
+
+Status FileWriter::WriteAtomic(const std::string& path) const {
+  return AtomicWriteFile(path, Serialize());
+}
+
+std::vector<size_t> FileWriter::SectionBoundaries() const {
+  std::vector<size_t> offsets;
+  size_t pos = kMagicBytes + 4;
+  offsets.push_back(pos);
+  for (const Section& section : sections_) {
+    pos += kSectionHeaderBytes + section.payload.size();
+    offsets.push_back(pos);
+  }
+  return offsets;
+}
+
+StatusOr<FileReader> FileReader::Parse(std::string bytes,
+                                       const std::string& magic,
+                                       uint32_t expected_version) {
+  std::string want = magic;
+  want.resize(kMagicBytes, '\0');
+  if (bytes.size() < kMagicBytes + 4 ||
+      bytes.compare(0, kMagicBytes, want) != 0) {
+    return Status::InvalidArgument(
+        StrCat("not a ", magic, " file (bad magic or too short)"));
+  }
+  FileReader out;
+  {
+    Reader header(bytes.data() + kMagicBytes, 4);
+    out.version_ = header.GetU32();
+  }
+  if (out.version_ != expected_version) {
+    return Status::InvalidArgument(
+        StrCat(magic, " format version ", out.version_, " unsupported (want ",
+               expected_version, ")"));
+  }
+  size_t pos = kMagicBytes + 4;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kSectionHeaderBytes) {
+      return Status::InvalidArgument(
+          StrCat(magic, " file truncated mid section header (",
+                 bytes.size() - pos, " trailing bytes)"));
+    }
+    Reader header(bytes.data() + pos, kSectionHeaderBytes);
+    const uint32_t id = header.GetU32();
+    const uint64_t size = header.GetU64();
+    const uint32_t crc = header.GetU32();
+    pos += kSectionHeaderBytes;
+    if (size > bytes.size() - pos) {
+      return Status::InvalidArgument(
+          StrCat(magic, " file truncated: section ", id, " claims ", size,
+                 " bytes, only ", bytes.size() - pos, " remain"));
+    }
+    std::string payload = bytes.substr(pos, static_cast<size_t>(size));
+    pos += static_cast<size_t>(size);
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      return Status::InvalidArgument(
+          StrCat(magic, " file corrupt: section ", id, " checksum mismatch"));
+    }
+    out.ids_.push_back(id);
+    out.payloads_.push_back(std::move(payload));
+  }
+  return out;
+}
+
+const std::string* FileReader::Find(uint32_t id) const {
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == id) return &payloads_[i];
+  }
+  return nullptr;
+}
+
+}  // namespace persist
+}  // namespace autoindex

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "persist/serde.h"
+#include "util/status.h"
+
+namespace autoindex {
+namespace persist {
+
+// Versioned, sectioned, checksummed container — the on-disk shape shared
+// by snapshots and workload traces:
+//
+//   magic (8 bytes) | format version (u32) | section*
+//   section := id (u32) | payload size (u64) | crc32(payload) (u32) | payload
+//
+// Readers verify magic, version, and every section's CRC before any
+// payload byte is interpreted, so truncation and bit rot surface as a
+// Status instead of a half-loaded structure. Unknown section ids are
+// preserved (skipped by consumers) for forward compatibility.
+
+inline constexpr size_t kMagicBytes = 8;
+
+// Serializes sections appended via AddSection into one buffer; the caller
+// hands that to AtomicWriteFile.
+class FileWriter {
+ public:
+  FileWriter(const std::string& magic, uint32_t version);
+
+  // Frames the writer's buffer as a section. The payload is copied;
+  // callers may reuse `payload` afterwards.
+  void AddSection(uint32_t id, const Writer& payload);
+
+  std::string Serialize() const;
+
+  // Serialize + temp-file/fsync/rename write.
+  Status WriteAtomic(const std::string& path) const;
+
+  // Byte offsets (within Serialize()'s output) where each section's
+  // framing begins, plus the final file size — the crash-matrix test
+  // truncates at exactly these boundaries.
+  std::vector<size_t> SectionBoundaries() const;
+
+ private:
+  struct Section {
+    uint32_t id;
+    std::string payload;
+  };
+
+  std::string magic_;
+  uint32_t version_;
+  std::vector<Section> sections_;
+};
+
+class FileReader {
+ public:
+  // Parses and CRC-verifies the whole buffer. InvalidArgument on a
+  // foreign/corrupt/truncated file.
+  static StatusOr<FileReader> Parse(std::string bytes,
+                                    const std::string& magic,
+                                    uint32_t expected_version);
+
+  // The first section with this id; nullptr when absent.
+  const std::string* Find(uint32_t id) const;
+
+  uint32_t version() const { return version_; }
+  size_t num_sections() const { return ids_.size(); }
+
+ private:
+  FileReader() = default;
+
+  uint32_t version_ = 0;
+  // Owns the file bytes; payloads_ views index into it by value (copied
+  // out at parse time for simplicity — snapshot files are read once).
+  std::vector<uint32_t> ids_;
+  std::vector<std::string> payloads_;
+};
+
+}  // namespace persist
+}  // namespace autoindex

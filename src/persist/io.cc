@@ -1,0 +1,157 @@
+#include "persist/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "util/string_util.h"
+
+namespace autoindex {
+namespace persist {
+namespace {
+
+// -1 = disarmed. Decremented by every CrashCheckedWrite.
+std::atomic<int64_t> g_crash_budget{-1};
+std::atomic<bool> g_crash_triggered{false};
+std::once_flag g_crash_env_once;
+
+void InitCrashBudgetFromEnv() {
+  std::call_once(g_crash_env_once, [] {
+    const char* env = std::getenv("AUTOINDEX_CRASH_AT_BYTE");
+    if (env != nullptr && *env != '\0') {
+      g_crash_budget.store(std::strtoll(env, nullptr, 10),
+                           std::memory_order_relaxed);
+    }
+  });
+}
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::Internal(
+      StrCat(what, " failed for ", path, ": ", std::strerror(errno)));
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open for fsync", path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync", path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+void SetCrashAfterBytes(int64_t budget) {
+  // Mark the env var consumed so a later first-write cannot re-arm over a
+  // test's explicit setting.
+  std::call_once(g_crash_env_once, [] {});
+  g_crash_budget.store(budget, std::memory_order_relaxed);
+  g_crash_triggered.store(false, std::memory_order_relaxed);
+}
+
+int64_t CrashBudgetRemaining() {
+  return g_crash_budget.load(std::memory_order_relaxed);
+}
+
+bool CrashTriggered() {
+  return g_crash_triggered.load(std::memory_order_relaxed);
+}
+
+Status CrashCheckedWrite(int fd, const char* data, size_t len) {
+  InitCrashBudgetFromEnv();
+  size_t allowed = len;
+  bool crash = false;
+  const int64_t budget = g_crash_budget.load(std::memory_order_relaxed);
+  if (budget >= 0) {
+    if (static_cast<uint64_t>(budget) < len) {
+      allowed = static_cast<size_t>(budget);
+      crash = true;
+      g_crash_budget.store(0, std::memory_order_relaxed);
+      g_crash_triggered.store(true, std::memory_order_relaxed);
+    } else {
+      g_crash_budget.store(budget - static_cast<int64_t>(len),
+                           std::memory_order_relaxed);
+    }
+  }
+  size_t written = 0;
+  while (written < allowed) {
+    const ssize_t n = ::write(fd, data + written, allowed - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(
+          StrCat("write failed: ", std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (crash) {
+    return Status::Internal(
+        StrCat("injected crash: write torn after ", written, " of ", len,
+               " bytes (AUTOINDEX_CRASH_AT_BYTE)"));
+  }
+  return Status::Ok();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  out->clear();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return ErrnoStatus("open", path);
+  }
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = ErrnoStatus("read", path);
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp);
+  Status s = CrashCheckedWrite(fd, data.data(), data.size());
+  if (s.ok() && ::fsync(fd) != 0) s = ErrnoStatus("fsync", tmp);
+  ::close(fd);
+  if (!s.ok()) {
+    // The torn temp file is left behind deliberately: a real crash would
+    // leave it too, and recovery must ignore it. The target is untouched.
+    return s;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return ErrnoStatus("rename", tmp);
+  }
+  // Persist the rename itself.
+  return FsyncPath(ParentDir(path));
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("truncate", path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace persist
+}  // namespace autoindex

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "check/recovery_validator.h"
+#include "persist/file_format.h"
+#include "persist/wal.h"
+#include "util/status.h"
+
+namespace autoindex {
+
+class AutoIndexManager;
+class Database;
+
+namespace persist {
+
+// Checkpointed snapshots + WAL-tail recovery — the durability protocol
+// (DESIGN.md §8):
+//
+//   save: freeze every table (shared latches) -> serialize catalog, heap
+//         contents, index definitions, column statistics, and tuning state
+//         at one data version -> temp-file/fsync/rename -> reset the WAL
+//         to that version.
+//   open: load the checkpoint into an empty database -> rebuild indexes
+//         from the restored heaps -> replay the WAL tail (records beyond
+//         the checkpoint's data version), truncating a torn tail -> run
+//         the recovery validator -> attach the WAL for new appends.
+//
+// A crash at any byte leaves either the previous or the new checkpoint
+// intact (rename is the commit point), and at most a torn WAL tail, which
+// replay drops.
+
+// File names inside a snapshot directory.
+std::string CheckpointPath(const std::string& dir);
+std::string WalPath(const std::string& dir);
+
+// How recovery went: the protocol-level facts (RecoveryInfo, fed to the
+// recovery validator) plus restore counters for reporting.
+struct RecoveryReport {
+  RecoveryInfo info;
+  size_t tables_restored = 0;
+  size_t rows_restored = 0;
+  size_t indexes_rebuilt = 0;
+  size_t wal_records_replayed = 0;
+  bool tuning_state_restored = false;
+};
+
+// Serializes the full checkpoint image without touching disk. Exposed so
+// the crash-matrix test can truncate the image at every section boundary;
+// SaveSnapshot is the production path. `manager` may be null (no tuning
+// section). Acquires shared latches on every table for a consistent cut;
+// `data_version` (optional) receives the version the image was cut at.
+StatusOr<FileWriter> BuildCheckpoint(const Database& db,
+                                     const AutoIndexManager* manager,
+                                     uint64_t* data_version = nullptr);
+
+// Writes <dir>/checkpoint.aidb atomically (the directory must exist) and,
+// when a WAL is attached to `db`, resets it to the checkpoint's version.
+// Returns the checkpoint's data version.
+StatusOr<uint64_t> SaveSnapshot(Database* db, const AutoIndexManager* manager,
+                                const std::string& dir);
+
+// Restores a snapshot directory into `db` (which must hold no tables) and
+// `manager` (may be null: the tuning section is then ignored), replays the
+// WAL tail, validates the result, and returns the WAL attached to `db`
+// and open for new appends. On any error the database contents are
+// unspecified — discard the Database object rather than using it.
+StatusOr<std::unique_ptr<Wal>> OpenSnapshot(Database* db,
+                                            AutoIndexManager* manager,
+                                            const std::string& dir,
+                                            RecoveryReport* report);
+
+}  // namespace persist
+}  // namespace autoindex

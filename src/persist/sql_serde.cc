@@ -1,0 +1,287 @@
+#include "persist/sql_serde.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace autoindex {
+namespace persist {
+
+namespace {
+
+// Parser output nests a handful of levels deep (DNF rewrites stay shallow
+// too); anything past this on the read side is a corrupt or hostile
+// buffer, not a real statement.
+constexpr uint32_t kMaxExprDepth = 1000;
+
+void PutColumnRef(Writer* w, const ColumnRef& col) {
+  w->PutString(col.table);
+  w->PutString(col.column);
+}
+
+ColumnRef GetColumnRef(Reader* r) {
+  ColumnRef col;
+  col.table = r->GetString();
+  col.column = r->GetString();
+  return col;
+}
+
+void PutExprNode(Writer* w, const Expr& e) {
+  w->PutU8(static_cast<uint8_t>(e.kind));
+  w->PutU8(static_cast<uint8_t>(e.op));
+  PutColumnRef(w, e.column);
+  PutValue(w, e.literal);
+  w->PutU32(static_cast<uint32_t>(e.in_list.size()));
+  for (const Value& v : e.in_list) PutValue(w, v);
+  w->PutBool(e.negated);
+  w->PutU32(static_cast<uint32_t>(e.children.size()));
+  for (const ExprPtr& child : e.children) PutExprNode(w, *child);
+}
+
+ExprPtr GetExprNode(Reader* r, uint32_t depth) {
+  if (depth > kMaxExprDepth) {
+    r->Fail(Status::InvalidArgument("expression nesting too deep"));
+    return nullptr;
+  }
+  auto e = std::make_unique<Expr>();
+  const uint8_t kind_tag = r->GetU8();
+  if (kind_tag > static_cast<uint8_t>(ExprKind::kIsNull)) {
+    r->Fail(Status::InvalidArgument(
+        StrCat("bad expr kind tag ", static_cast<int>(kind_tag))));
+    return nullptr;
+  }
+  e->kind = static_cast<ExprKind>(kind_tag);
+  const uint8_t op_tag = r->GetU8();
+  if (op_tag > static_cast<uint8_t>(CompareOp::kLike)) {
+    r->Fail(Status::InvalidArgument(
+        StrCat("bad compare op tag ", static_cast<int>(op_tag))));
+    return nullptr;
+  }
+  e->op = static_cast<CompareOp>(op_tag);
+  e->column = GetColumnRef(r);
+  e->literal = GetValue(r);
+  const uint32_t nlist = r->GetU32();
+  e->in_list.reserve(std::min<size_t>(nlist, r->remaining()));
+  for (uint32_t i = 0; i < nlist && r->ok(); ++i) {
+    e->in_list.push_back(GetValue(r));
+  }
+  e->negated = r->GetBool();
+  const uint32_t nchildren = r->GetU32();
+  e->children.reserve(std::min<size_t>(nchildren, r->remaining()));
+  for (uint32_t i = 0; i < nchildren && r->ok(); ++i) {
+    ExprPtr child = GetExprNode(r, depth + 1);
+    if (!r->ok()) return nullptr;
+    e->children.push_back(std::move(child));
+  }
+  if (!r->ok()) return nullptr;
+  return e;
+}
+
+void PutSelect(Writer* w, const SelectStatement& s) {
+  w->PutU32(static_cast<uint32_t>(s.from.size()));
+  for (const TableRef& t : s.from) {
+    w->PutString(t.table);
+    w->PutString(t.alias);
+  }
+  w->PutU32(static_cast<uint32_t>(s.items.size()));
+  for (const SelectItem& item : s.items) {
+    w->PutBool(item.star);
+    w->PutU8(static_cast<uint8_t>(item.agg));
+    PutColumnRef(w, item.column);
+  }
+  PutExpr(w, s.where.get());
+  w->PutU32(static_cast<uint32_t>(s.group_by.size()));
+  for (const ColumnRef& col : s.group_by) PutColumnRef(w, col);
+  w->PutU32(static_cast<uint32_t>(s.order_by.size()));
+  for (const OrderByItem& item : s.order_by) {
+    PutColumnRef(w, item.column);
+    w->PutBool(item.desc);
+  }
+  w->PutI64(s.limit);
+}
+
+std::unique_ptr<SelectStatement> GetSelect(Reader* r) {
+  auto s = std::make_unique<SelectStatement>();
+  const uint32_t nfrom = r->GetU32();
+  for (uint32_t i = 0; i < nfrom && r->ok(); ++i) {
+    TableRef t;
+    t.table = r->GetString();
+    t.alias = r->GetString();
+    s->from.push_back(std::move(t));
+  }
+  const uint32_t nitems = r->GetU32();
+  for (uint32_t i = 0; i < nitems && r->ok(); ++i) {
+    SelectItem item;
+    item.star = r->GetBool();
+    const uint8_t agg_tag = r->GetU8();
+    if (agg_tag > static_cast<uint8_t>(AggFunc::kMax)) {
+      r->Fail(Status::InvalidArgument(
+          StrCat("bad agg func tag ", static_cast<int>(agg_tag))));
+      return nullptr;
+    }
+    item.agg = static_cast<AggFunc>(agg_tag);
+    item.column = GetColumnRef(r);
+    s->items.push_back(std::move(item));
+  }
+  s->where = GetExpr(r);
+  const uint32_t ngroup = r->GetU32();
+  for (uint32_t i = 0; i < ngroup && r->ok(); ++i) {
+    s->group_by.push_back(GetColumnRef(r));
+  }
+  const uint32_t norder = r->GetU32();
+  for (uint32_t i = 0; i < norder && r->ok(); ++i) {
+    OrderByItem item;
+    item.column = GetColumnRef(r);
+    item.desc = r->GetBool();
+    s->order_by.push_back(std::move(item));
+  }
+  s->limit = r->GetI64();
+  if (!r->ok()) return nullptr;
+  return s;
+}
+
+void PutInsert(Writer* w, const InsertStatement& s) {
+  w->PutString(s.table);
+  w->PutU32(static_cast<uint32_t>(s.columns.size()));
+  for (const std::string& col : s.columns) w->PutString(col);
+  w->PutU32(static_cast<uint32_t>(s.rows.size()));
+  for (const Row& row : s.rows) PutRow(w, row);
+}
+
+std::unique_ptr<InsertStatement> GetInsert(Reader* r) {
+  auto s = std::make_unique<InsertStatement>();
+  s->table = r->GetString();
+  const uint32_t ncols = r->GetU32();
+  for (uint32_t i = 0; i < ncols && r->ok(); ++i) {
+    s->columns.push_back(r->GetString());
+  }
+  const uint32_t nrows = r->GetU32();
+  s->rows.reserve(std::min<size_t>(nrows, r->remaining()));
+  for (uint32_t i = 0; i < nrows && r->ok(); ++i) {
+    s->rows.push_back(GetRow(r));
+  }
+  if (!r->ok()) return nullptr;
+  return s;
+}
+
+void PutUpdate(Writer* w, const UpdateStatement& s) {
+  w->PutString(s.table);
+  w->PutU32(static_cast<uint32_t>(s.assignments.size()));
+  for (const auto& [col, v] : s.assignments) {
+    w->PutString(col);
+    PutValue(w, v);
+  }
+  PutExpr(w, s.where.get());
+}
+
+std::unique_ptr<UpdateStatement> GetUpdate(Reader* r) {
+  auto s = std::make_unique<UpdateStatement>();
+  s->table = r->GetString();
+  const uint32_t nassign = r->GetU32();
+  for (uint32_t i = 0; i < nassign && r->ok(); ++i) {
+    std::string col = r->GetString();
+    Value v = GetValue(r);
+    s->assignments.emplace_back(std::move(col), std::move(v));
+  }
+  s->where = GetExpr(r);
+  if (!r->ok()) return nullptr;
+  return s;
+}
+
+void PutDelete(Writer* w, const DeleteStatement& s) {
+  w->PutString(s.table);
+  PutExpr(w, s.where.get());
+}
+
+std::unique_ptr<DeleteStatement> GetDelete(Reader* r) {
+  auto s = std::make_unique<DeleteStatement>();
+  s->table = r->GetString();
+  s->where = GetExpr(r);
+  if (!r->ok()) return nullptr;
+  return s;
+}
+
+}  // namespace
+
+void PutExpr(Writer* w, const Expr* expr) {
+  w->PutBool(expr != nullptr);
+  if (expr != nullptr) PutExprNode(w, *expr);
+}
+
+ExprPtr GetExpr(Reader* r) {
+  if (!r->GetBool()) return nullptr;
+  return GetExprNode(r, 0);
+}
+
+void PutStatement(Writer* w, const Statement& stmt) {
+  w->PutU8(static_cast<uint8_t>(stmt.kind));
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      PutSelect(w, *stmt.select);
+      break;
+    case StatementKind::kInsert:
+      PutInsert(w, *stmt.insert);
+      break;
+    case StatementKind::kUpdate:
+      PutUpdate(w, *stmt.update);
+      break;
+    case StatementKind::kDelete:
+      PutDelete(w, *stmt.del);
+      break;
+  }
+}
+
+Statement GetStatement(Reader* r) {
+  Statement stmt;
+  const uint8_t tag = r->GetU8();
+  if (tag > static_cast<uint8_t>(StatementKind::kDelete)) {
+    r->Fail(Status::InvalidArgument(
+        StrCat("bad statement kind tag ", static_cast<int>(tag))));
+    return stmt;
+  }
+  stmt.kind = static_cast<StatementKind>(tag);
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      stmt.select = GetSelect(r);
+      break;
+    case StatementKind::kInsert:
+      stmt.insert = GetInsert(r);
+      break;
+    case StatementKind::kUpdate:
+      stmt.update = GetUpdate(r);
+      break;
+    case StatementKind::kDelete:
+      stmt.del = GetDelete(r);
+      break;
+  }
+  return stmt;
+}
+
+void PutIndexDef(Writer* w, const IndexDef& def) {
+  w->PutString(def.name);
+  w->PutString(def.table);
+  w->PutU32(static_cast<uint32_t>(def.columns.size()));
+  for (const std::string& col : def.columns) w->PutString(col);
+  w->PutU8(static_cast<uint8_t>(def.kind));
+}
+
+IndexDef GetIndexDef(Reader* r) {
+  IndexDef def;
+  def.name = r->GetString();
+  def.table = r->GetString();
+  const uint32_t ncols = r->GetU32();
+  for (uint32_t i = 0; i < ncols && r->ok(); ++i) {
+    def.columns.push_back(r->GetString());
+  }
+  const uint8_t kind_tag = r->GetU8();
+  if (kind_tag > static_cast<uint8_t>(IndexKind::kLocal)) {
+    r->Fail(Status::InvalidArgument(
+        StrCat("bad index kind tag ", static_cast<int>(kind_tag))));
+    return def;
+  }
+  def.kind = static_cast<IndexKind>(kind_tag);
+  return def;
+}
+
+}  // namespace persist
+}  // namespace autoindex

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "index/index_manager.h"
+#include "persist/serde.h"
+#include "sql/statement.h"
+
+namespace autoindex {
+namespace persist {
+
+// Binary serialization for SQL ASTs and index definitions. The WAL logs
+// statements in this form rather than as SQL text: Value::ToString prints
+// doubles with %g, so a text round-trip is lossy, while these encoders
+// preserve every bit of the original statement.
+
+void PutExpr(Writer* w, const Expr* expr);  // expr may be null
+// Returns null for an absent expression; poisons the reader on a corrupt
+// tag or a nesting depth beyond what any parser output could contain.
+ExprPtr GetExpr(Reader* r);
+
+void PutStatement(Writer* w, const Statement& stmt);
+Statement GetStatement(Reader* r);
+
+void PutIndexDef(Writer* w, const IndexDef& def);
+IndexDef GetIndexDef(Reader* r);
+
+}  // namespace persist
+}  // namespace autoindex

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/durability.h"
+#include "index/index_def.h"
+#include "sql/statement.h"
+#include "storage/schema.h"
+#include "util/status.h"
+
+namespace autoindex {
+namespace persist {
+
+// One decoded log record. Which fields are meaningful depends on `type`;
+// the rest stay default-constructed.
+struct WalRecord {
+  enum class Type : uint8_t {
+    kStatement = 1,    // stmt
+    kCreateTable = 2,  // name + schema
+    kCreateIndex = 3,  // def
+    kDropIndex = 4,    // name (key or display name)
+    kBulkInsert = 5,   // name + rows
+    kAnalyze = 6,      // name (empty = all tables)
+  };
+
+  Type type = Type::kStatement;
+  uint64_t data_version = 0;
+  Statement stmt;
+  std::string name;
+  Schema schema;
+  IndexDef def;
+  std::vector<Row> rows;
+};
+
+// What scanning an existing log recovered.
+struct WalReplay {
+  // Data version of the checkpoint this log was opened against.
+  uint64_t epoch = 0;
+  // Every complete, checksum-valid record, in append order.
+  std::vector<WalRecord> records;
+  // Bytes dropped from the tail (torn final append); 0 on a clean log.
+  uint64_t bytes_truncated = 0;
+};
+
+// The statement write-ahead log: an append-only file of logical records.
+//
+//   header := magic "AIXWAL01" | format version (u32) | epoch (u64)
+//   record := payload size (u32) | crc32(payload) (u32) | payload
+//   payload := type (u8) | data_version (u64) | type-specific body
+//
+// The epoch is the data version of the checkpoint the log extends; replay
+// applies only records with data_version > epoch, so a log that survived
+// a crash between "checkpoint renamed" and "log reset" is harmless. A
+// torn final record (bad CRC or short read) marks the end of the durable
+// prefix: it is truncated away, never applied.
+//
+// Appends happen through the DurabilityLog interface, called by Database
+// under its wal_mu_, so no extra locking lives here.
+// Append behavior knobs (a free struct so it can be a default argument —
+// a nested class is incomplete where Wal's own defaults are parsed).
+struct WalOptions {
+  // fsync after every append. Off by default: the recovery tests tear
+  // writes explicitly, and per-statement fsync makes them crawl.
+  bool fsync_each_append = false;
+};
+
+class Wal : public DurabilityLog {
+ public:
+  // Use Create/Open — this constructor only wires fields and leaves the
+  // log unopened. Public so the factories can make_unique it.
+  Wal(std::string path, uint64_t epoch, WalOptions options);
+
+  // Starts a fresh log at `path` (overwriting any previous one) whose
+  // epoch is `checkpoint_data_version`.
+  static StatusOr<std::unique_ptr<Wal>> Create(const std::string& path,
+                                               uint64_t checkpoint_data_version,
+                                               WalOptions options = WalOptions());
+
+  // Opens an existing log: validates the header, decodes every complete
+  // record into `replay`, truncates a torn tail in place, and returns the
+  // log positioned for further appends. NotFound when the file is absent;
+  // InvalidArgument on a foreign file or corrupt header.
+  static StatusOr<std::unique_ptr<Wal>> Open(const std::string& path,
+                                             WalReplay* replay,
+                                             WalOptions options = WalOptions());
+
+  ~Wal() override;
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // DurabilityLog:
+  Status AppendStatement(const Statement& stmt, uint64_t data_version) override;
+  Status AppendCreateTable(const std::string& name, const Schema& schema,
+                           uint64_t data_version) override;
+  Status AppendCreateIndex(const IndexDef& def,
+                           uint64_t data_version) override;
+  Status AppendDropIndex(const std::string& key_or_name,
+                         uint64_t data_version) override;
+  Status AppendBulkInsert(const std::string& table,
+                          const std::vector<Row>& rows,
+                          uint64_t data_version) override;
+  Status AppendAnalyze(const std::string& table,
+                       uint64_t data_version) override;
+  // Resets the log to a fresh header at the new epoch (atomic replace).
+  Status OnCheckpoint(uint64_t checkpoint_data_version) override;
+
+  // Flushes appended records to stable storage.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+  uint64_t epoch() const { return epoch_; }
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t size_bytes() const { return size_bytes_; }
+
+ private:
+  // Opens fd_ (creating/truncating per `truncate`) and writes or keeps the
+  // header; size_bytes_ ends at the append position.
+  Status OpenFd(bool truncate);
+  Status AppendRecord(const WalRecord& record);
+
+  std::string path_;
+  uint64_t epoch_;
+  WalOptions options_;
+  int fd_ = -1;
+  uint64_t records_appended_ = 0;
+  uint64_t size_bytes_ = 0;
+};
+
+}  // namespace persist
+}  // namespace autoindex

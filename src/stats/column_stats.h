@@ -9,6 +9,11 @@
 
 namespace autoindex {
 
+namespace persist {
+class Reader;
+class Writer;
+}  // namespace persist
+
 // Per-column statistics gathered by ANALYZE: row/NULL counts, distinct
 // estimate, min/max and an equi-depth histogram. These drive selectivity
 // estimation in the what-if planner.
@@ -45,6 +50,12 @@ class ColumnStats {
 
   // 1/num_distinct — the default equality selectivity.
   double EqSelectivity() const;
+
+  // Snapshot serialization (src/persist/): the full state round-trips, so
+  // a reloaded database estimates selectivities identically without
+  // re-ANALYZE.
+  void Save(persist::Writer* w) const;
+  static ColumnStats Load(persist::Reader* r);
 
  private:
   // Fraction of non-null rows strictly below v (histogram interpolation).

@@ -58,6 +58,12 @@ class StatsManager {
   double AtomSelectivity(const Expr& atom, const std::string& table,
                          const std::string& alias = "");
 
+  // Snapshot serialization (src/persist/): saves/restores the cached stats
+  // verbatim (tables and columns in sorted order, so the bytes are
+  // deterministic). Load replaces the whole cache.
+  void Save(persist::Writer* w) const;
+  void Load(persist::Reader* r);
+
  private:
   Catalog* catalog_;
   LatchManager* latches_ = nullptr;

@@ -55,6 +55,15 @@ class Random {
     return static_cast<uint64_t>(frac * static_cast<double>(n));
   }
 
+  // Raw xorshift state, exposed so durability snapshots can freeze and
+  // resume the exact sequence (a reseed would diverge the replayed run).
+  uint64_t state0() const { return s0_; }
+  uint64_t state1() const { return s1_; }
+  void SetState(uint64_t s0, uint64_t s1) {
+    s0_ = s0;
+    s1_ = s1;
+  }
+
   // Random lowercase identifier of the given length.
   std::string NextName(int len) {
     std::string s;

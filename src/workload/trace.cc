@@ -1,96 +1,57 @@
 #include "workload/trace.h"
 
-#include <cstdio>
-#include <fstream>
-
+#include "persist/file_format.h"
+#include "persist/io.h"
+#include "persist/serde.h"
 #include "util/string_util.h"
 
 namespace autoindex {
 namespace {
 
-constexpr const char* kHeader = "# autoindex-trace v1";
-
-std::string Escape(const std::string& sql) {
-  std::string out;
-  out.reserve(sql.size());
-  for (char c : sql) {
-    switch (c) {
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        out.push_back(c);
-    }
-  }
-  return out;
-}
-
-std::string Unescape(const std::string& line) {
-  std::string out;
-  out.reserve(line.size());
-  for (size_t i = 0; i < line.size(); ++i) {
-    if (line[i] == '\\' && i + 1 < line.size()) {
-      switch (line[i + 1]) {
-        case '\\':
-          out.push_back('\\');
-          ++i;
-          continue;
-        case 'n':
-          out.push_back('\n');
-          ++i;
-          continue;
-        case 'r':
-          out.push_back('\r');
-          ++i;
-          continue;
-        default:
-          break;
-      }
-    }
-    out.push_back(line[i]);
-  }
-  return out;
-}
+// Binary checksummed trace: the shared section format (magic | version |
+// CRC-framed sections) with one section holding the statement list. The
+// old plain-text v1 format had no integrity check, so a truncated trace
+// silently loaded as a shorter workload; here a short read or bit flip
+// fails Parse with a Status instead.
+constexpr char kTraceMagic[] = "AIXTRACE";
+constexpr uint32_t kTraceVersion = 2;
+constexpr uint32_t kQueriesSection = 1;
 
 }  // namespace
 
 Status SaveWorkloadTrace(const std::string& path,
                          const std::vector<std::string>& queries) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::Internal("cannot open trace file for writing: " + path);
-  }
-  out << kHeader << "\n";
-  for (const std::string& sql : queries) {
-    out << Escape(sql) << "\n";
-  }
-  out.flush();
-  if (!out.good()) {
-    return Status::Internal("write failed: " + path);
-  }
-  return Status::Ok();
+  persist::Writer w;
+  w.PutU32(static_cast<uint32_t>(queries.size()));
+  for (const std::string& sql : queries) w.PutString(sql);
+  persist::FileWriter file(kTraceMagic, kTraceVersion);
+  file.AddSection(kQueriesSection, w);
+  return file.WriteAtomic(path);
 }
 
 StatusOr<std::vector<std::string>> LoadWorkloadTrace(
     const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) {
-    return Status::NotFound("no such trace file: " + path);
+  std::string bytes;
+  Status s = persist::ReadFileToString(path, &bytes);
+  if (!s.ok()) return s;
+  StatusOr<persist::FileReader> parsed =
+      persist::FileReader::Parse(std::move(bytes), kTraceMagic, kTraceVersion);
+  if (!parsed.ok()) return parsed.status();
+  const std::string* payload = parsed->Find(kQueriesSection);
+  if (payload == nullptr) {
+    return Status::InvalidArgument("trace file has no query section: " + path);
   }
-  std::string line;
-  if (!std::getline(in, line) || line != kHeader) {
-    return Status::InvalidArgument("not an autoindex trace file: " + path);
-  }
+  persist::Reader r(*payload);
+  const uint32_t count = r.GetU32();
   std::vector<std::string> queries;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    queries.push_back(Unescape(line));
+  queries.reserve(count);
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    queries.push_back(r.GetString());
+  }
+  if (!r.ok()) return r.status();
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "trace file has trailing bytes after query list: " + path);
   }
   return queries;
 }

@@ -7,11 +7,13 @@
 
 namespace autoindex {
 
-// Plain-text workload traces: one SQL statement per line, with a version
-// header. This mirrors the paper's setup where workload queries are
-// "logged in the server that runs the index management process"
-// (Sec. III) and tuned offline. Newlines/backslashes inside statements
-// are escaped, so round-trips are loss-free.
+// Workload traces: the SQL statement list in the shared checksummed
+// binary format (magic + format version + CRC32-framed section). This
+// mirrors the paper's setup where workload queries are "logged in the
+// server that runs the index management process" (Sec. III) and tuned
+// offline. Round-trips are loss-free (statements are length-prefixed, so
+// any bytes survive), and a truncated or bit-flipped file fails to load
+// with a Status instead of silently yielding a shorter workload.
 Status SaveWorkloadTrace(const std::string& path,
                          const std::vector<std::string>& queries);
 
