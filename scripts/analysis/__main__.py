@@ -1,0 +1,14 @@
+"""Allows `python3 -m analysis` (with scripts/ on sys.path) or
+`python3 scripts/analysis` directly."""
+
+import os
+import sys
+
+if __package__ in (None, ""):
+    sys.path.insert(
+        0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from analysis.cli import main
+else:
+    from .cli import main
+
+sys.exit(main(sys.argv[1:]))

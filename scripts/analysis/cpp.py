@@ -1,0 +1,63 @@
+"""C++ lexical helpers shared by the analysis rules.
+
+The rules are regex-based, so the one thing they all need is source text
+with comments and string/char literals blanked out — a rule must never
+fire on prose. Positions are preserved (blanked spans become spaces) so
+line/column information stays meaningful.
+"""
+
+import re
+
+HEADER_EXTS = (".h", ".hpp")
+SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
+
+_BLOCK_RE = re.compile(r"/\*.*?\*/")
+
+
+def strip_comments_and_strings(line):
+    """Blank out string/char literals and // comments in one line.
+
+    Block comments are handled by iter_code_lines (they span lines).
+    """
+    out = []
+    i, n = 0, len(line)
+    in_str = None
+    while i < n:
+        ch = line[i]
+        if in_str:
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == in_str:
+                in_str = None
+            out.append(" ")
+        elif ch in ("\"", "'"):
+            in_str = ch
+            out.append(" ")
+        elif ch == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        else:
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def iter_code_lines(text):
+    """Yield (lineno, code) with comments and literals blanked."""
+    in_block = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = " " * (end + 2) + line[end + 2:]
+            in_block = False
+        # Remove complete /* ... */ spans, then detect an opener.
+        line = _BLOCK_RE.sub(lambda m: " " * len(m.group()), line)
+        start = line.find("/*")
+        if start >= 0:
+            line = line[:start]
+            in_block = True
+        yield lineno, strip_comments_and_strings(line)

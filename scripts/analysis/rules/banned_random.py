@@ -1,0 +1,33 @@
+"""banned-random: rand()/srand()/time() break reproducibility; all
+randomness goes through util/random.h (seeded) and timing through
+util/timer.h."""
+
+import re
+
+from .. import framework
+
+BANNED = {
+    "rand": "use autoindex::Random (util/random.h) for reproducibility",
+    "srand": "use autoindex::Random (util/random.h) for reproducibility",
+    "time": "use util/timer.h; wall-clock seeds break reproducibility",
+}
+
+# Bare calls only: `rand(`, `std::time(`, not `x.time(` or identifiers
+# that merely end with the name.
+_CALL_RES = {
+    name: re.compile(r"(?<![\w.>])(?:std::)?%s\s*\(" % name)
+    for name in BANNED
+}
+
+
+@framework.register
+class BannedRandom(framework.Rule):
+    name = "banned-random"
+    description = "wall-clock/libc randomness outside util/random.h"
+
+    def check(self, sf, ctx):
+        for lineno, code in sf.code_lines:
+            for name, why in BANNED.items():
+                if _CALL_RES[name].search(code):
+                    yield self.finding(
+                        sf, lineno, "call to %s(): %s" % (name, why))

@@ -1,0 +1,24 @@
+"""detached-thread: std::thread::detach() makes shutdown ordering
+unprovable — a detached thread can outlive the objects it captured
+(the database, the queue it drains) and crash at exit. Threads are
+joined; long-running workers get a stop flag + join."""
+
+import re
+
+from .. import framework
+
+_DETACH_RE = re.compile(r"(?:\.|->)\s*detach\s*\(\s*\)")
+
+
+@framework.register
+class DetachedThread(framework.Rule):
+    name = "detached-thread"
+    description = "std::thread::detach() breaks shutdown ordering"
+
+    def check(self, sf, ctx):
+        for lineno, code in sf.code_lines:
+            if _DETACH_RE.search(code):
+                yield self.finding(
+                    sf, lineno,
+                    "detached thread outlives the state it captured; "
+                    "join it (stop flag + join for workers)")

@@ -1,0 +1,83 @@
+"""include-cycle: circular #include chains among the scanned files.
+Cycles compile today only by accident of include order (#pragma once
+breaks the infinite regress but leaves one of the two headers truncated
+from the other's point of view) and make layering rot invisible. Each
+cycle is reported once, anchored at the #include line that closes it."""
+
+import os
+import re
+
+from .. import framework
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def _resolve(including_rel, inc, known):
+    """Resolve `#include "inc"` seen in including_rel against the scanned
+    file set: first relative to the including file's directory, then
+    against each of its ancestor directories (the project includes
+    headers relative to src/)."""
+    d = os.path.dirname(including_rel)
+    while True:
+        cand = os.path.normpath(os.path.join(d, inc)).replace(os.sep, "/")
+        if cand in known:
+            return cand
+        if not d:
+            return None
+        d = os.path.dirname(d)
+
+
+@framework.register
+class IncludeCycle(framework.ProjectRule):
+    name = "include-cycle"
+    description = "circular #include chain among scanned files"
+
+    def check_project(self, files, ctx):
+        known = {sf.rel for sf in files}
+        # rel -> [(target_rel, lineno)]
+        edges = {sf.rel: [] for sf in files}
+        for sf in files:
+            for lineno, raw in enumerate(sf.raw_lines, start=1):
+                m = _INCLUDE_RE.match(raw)
+                if not m:
+                    continue
+                target = _resolve(sf.rel, m.group(1), known)
+                if target is not None and target != sf.rel:
+                    edges[sf.rel].append((target, lineno))
+
+        findings = []
+        seen_cycles = set()
+        # Iterative DFS with white/grey/black coloring; a grey target is a
+        # back edge, i.e. a cycle.
+        color = {rel: 0 for rel in edges}  # 0 white, 1 grey, 2 black
+        for start in sorted(edges):
+            if color[start] != 0:
+                continue
+            stack = [(start, iter(edges[start]))]
+            color[start] = 1
+            path = [start]
+            while stack:
+                rel, it = stack[-1]
+                advanced = False
+                for target, lineno in it:
+                    if color[target] == 1:
+                        cycle = path[path.index(target):] + [target]
+                        nodes = cycle[:-1]
+                        pivot = nodes.index(min(nodes))
+                        key = tuple(nodes[pivot:] + nodes[:pivot])
+                        if key not in seen_cycles:
+                            seen_cycles.add(key)
+                            findings.append(framework.Finding(
+                                rel, lineno, self.name,
+                                "include cycle: " + " -> ".join(cycle)))
+                    elif color[target] == 0:
+                        color[target] = 1
+                        path.append(target)
+                        stack.append((target, iter(edges[target])))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[rel] = 2
+                    path.pop()
+                    stack.pop()
+        return findings

@@ -1,0 +1,38 @@
+"""naked-mutex: raw std::mutex / std::shared_mutex /
+std::condition_variable (and their lock RAII types) outside src/util/
+are invisible to Clang thread-safety analysis. All locking goes through
+util/mutex.h (util::Mutex, util::SharedMutex, util::MutexLock,
+util::ReaderLock, util::WriterLock, util::CondVar), whose capability
+annotations let `-Wthread-safety` prove the lock discipline at compile
+time."""
+
+import re
+
+from .. import framework
+
+# util/mutex.h wraps the raw primitives; it is the one place they may
+# appear.
+ALLOWDIR = "src/util/"
+
+_NAKED_RE = re.compile(
+    r"\bstd\s*::\s*(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock)\b")
+
+
+@framework.register
+class NakedMutex(framework.Rule):
+    name = "naked-mutex"
+    description = "raw std synchronization primitive outside src/util/"
+
+    def check(self, sf, ctx):
+        if sf.rel.startswith(ALLOWDIR):
+            return
+        for lineno, code in sf.code_lines:
+            m = _NAKED_RE.search(code)
+            if m:
+                yield self.finding(
+                    sf, lineno,
+                    "%s is invisible to thread-safety analysis; use the "
+                    "annotated wrappers in util/mutex.h" % m.group().replace(
+                        " ", ""))

@@ -1,0 +1,13 @@
+"""pragma-once: every header uses #pragma once (no include guards)."""
+
+from .. import framework
+
+
+@framework.register
+class PragmaOnce(framework.Rule):
+    name = "pragma-once"
+    description = "every header starts with #pragma once"
+
+    def check(self, sf, ctx):
+        if sf.is_header and "#pragma once" not in sf.text:
+            yield self.finding(sf, 1, "header missing '#pragma once'")

@@ -1,0 +1,32 @@
+"""raw-file-io: std::ofstream / std::ifstream / std::fstream (and
+C-style fopen) outside src/persist/ bypass the durability layer: no
+checksum, no Status on short reads, no atomic-rename writes. File IO
+goes through persist/io.h (ReadFileToString / AtomicWriteFile) or a
+persist file format."""
+
+import re
+
+from .. import framework
+
+# Directory whose files implement the checked IO primitives and so may
+# touch raw streams/descriptors themselves.
+ALLOWDIR = "src/persist/"
+
+_IO_RE = re.compile(
+    r"\bstd\s*::\s*(?:o|i)?fstream\b|(?<![\w.>])fopen\s*\(")
+
+
+@framework.register
+class RawFileIo(framework.Rule):
+    name = "raw-file-io"
+    description = "unchecked stream IO outside src/persist/"
+
+    def check(self, sf, ctx):
+        if sf.rel.startswith(ALLOWDIR):
+            return
+        for lineno, code in sf.code_lines:
+            if _IO_RE.search(code):
+                yield self.finding(
+                    sf, lineno,
+                    "unchecked stream IO; use persist/io.h "
+                    "(ReadFileToString/AtomicWriteFile) or a persist format")

@@ -1,0 +1,31 @@
+"""raw-new-delete: no raw `new` / `delete` outside src/index/btree.cc,
+which owns manual node wiring for the B+Tree. All other ownership goes
+through unique_ptr/make_unique."""
+
+import re
+
+from .. import framework
+
+# Files allowed to use raw new/delete: the B+Tree does manual node
+# surgery during splits/merges and documents its ownership protocol.
+ALLOWLIST = {"src/index/btree.cc"}
+
+_NEW_RE = re.compile(r"\bnew\s+[A-Za-z_(]")
+_DELETE_RE = re.compile(r"\bdelete(\[\])?\s+[A-Za-z_*(]")
+
+
+@framework.register
+class RawNewDelete(framework.Rule):
+    name = "raw-new-delete"
+    description = "raw new/delete outside the B+Tree node allocator"
+
+    def check(self, sf, ctx):
+        if sf.rel in ALLOWLIST:
+            return
+        for lineno, code in sf.code_lines:
+            if _NEW_RE.search(code):
+                yield self.finding(sf, lineno,
+                                   "raw 'new'; use std::make_unique")
+            if _DELETE_RE.search(code):
+                yield self.finding(sf, lineno,
+                                   "raw 'delete'; use owning smart pointers")

@@ -1,0 +1,52 @@
+"""status-ignored: a call to a Status-returning function used as a bare
+statement silently drops the error. Such calls must be consumed:
+returned, assigned, tested, or explicitly discarded with (void).
+Function names are harvested from header declarations (see
+framework.Context.status_function_names), so the rule tracks the API
+automatically."""
+
+import re
+
+from .. import framework
+
+# Names that also have common non-Status overloads or whose bare call is
+# legitimately valueless would go here. Kept empty on purpose: today every
+# harvested name is unambiguous; add entries only with a justification.
+EXCEPTIONS = set()
+
+
+@framework.register
+class StatusIgnored(framework.Rule):
+    name = "status-ignored"
+    description = "Status-returning call used as a bare statement"
+
+    def check(self, sf, ctx):
+        names = ctx.status_function_names() - EXCEPTIONS
+        if not names:
+            return
+        call_re = re.compile(
+            r"^\s*(?:[A-Za-z_]\w*(?:\.|->|::))*(%s)\s*\(" %
+            "|".join(sorted(names)))
+
+        # Tail of the previous non-blank code line, used to spot
+        # continuation lines: `StatusOr<T> x =\n    Foo(...)` is
+        # consumed, not dropped.
+        prev_tail = ""
+        for lineno, code in sf.code_lines:
+            m = call_re.match(code)
+            if m:
+                # A bare-statement call: the line starts with the call
+                # itself AND the previous line completed a statement.
+                # Consumed forms start with return/(void)/assignment/if
+                # etc. (which the anchored pattern never matches) or
+                # continue a line ending in '=', '(', ',', '&&', etc.
+                # (which prev_tail rules out).
+                statement_start = prev_tail in ("", ";", "{", "}", ":")
+                if statement_start and code.rstrip().endswith((";", "(", ",")):
+                    yield self.finding(
+                        sf, lineno,
+                        "result of Status-returning %s() is dropped; "
+                        "check it or cast to (void)" % m.group(1))
+            stripped = code.strip()
+            if stripped:
+                prev_tail = stripped[-1]

@@ -1,243 +1,23 @@
 #!/usr/bin/env python3
-"""Project lint pass for AutoIndex.
+"""Project lint pass for AutoIndex — thin shim over scripts/analysis/.
 
-Structural rules that clang-tidy either cannot express or that must hold
-even on machines without clang-tidy installed:
+The rules (structural checks that clang-tidy either cannot express or
+that must hold even on machines without clang installed) live in
+scripts/analysis/rules/, one module per rule; the engine — file
+collection, comment stripping, `// lint:allow(<rule>)` suppressions,
+text/JSON output — is scripts/analysis/framework.py and cli.py.
 
-  1. pragma-once     every header uses #pragma once (no include guards).
-  2. raw-new-delete  no raw `new` / `delete` outside src/index/btree.cc,
-                     which owns manual node wiring for the B+Tree. All
-                     other ownership goes through unique_ptr/make_unique.
-  3. status-ignored  a call to a Status-returning function used as a bare
-                     statement silently drops the error. Such calls must
-                     be consumed: returned, assigned, tested, or
-                     explicitly discarded with (void). Function names are
-                     harvested from header declarations, so the rule
-                     tracks the API automatically.
-  4. banned-random   rand()/srand()/time() break reproducibility; all
-                     randomness goes through util/random.h (seeded) and
-                     timing through util/timer.h.
-  5. raw-file-io     std::ofstream / std::ifstream / std::fstream (and
-                     C-style fopen) outside src/persist/ bypass the
-                     durability layer: no checksum, no Status on short
-                     reads, no atomic-rename writes. File IO goes through
-                     persist/io.h (ReadFileToString / AtomicWriteFile) or
-                     a persist file format.
-
-Usage: scripts/lint.py [paths...]   (default: src)
+Usage: scripts/lint.py [--format=text|json] [--rules=a,b] [paths...]
+       (default: src)
 Exit code 0 when clean, 1 when any rule fires.
 """
 
 import os
-import re
 import sys
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-HEADER_EXTS = (".h", ".hpp")
-SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
-
-# Files allowed to use raw new/delete: the B+Tree does manual node
-# surgery during splits/merges and documents its ownership protocol.
-RAW_NEW_ALLOWLIST = {os.path.join("src", "index", "btree.cc")}
-
-# Directory whose files implement the checked IO primitives and so may
-# touch raw streams/descriptors themselves.
-RAW_FILE_IO_ALLOWDIR = os.path.join("src", "persist")
-
-RAW_FILE_IO_RE = re.compile(
-    r"\bstd\s*::\s*(?:o|i)?fstream\b|(?<![\w.>])fopen\s*\(")
-
-BANNED_CALLS = {
-    "rand": "use autoindex::Random (util/random.h) for reproducibility",
-    "srand": "use autoindex::Random (util/random.h) for reproducibility",
-    "time": "use util/timer.h; wall-clock seeds break reproducibility",
-}
-
-
-def strip_comments_and_strings(line):
-    """Blank out string/char literals and // comments so the regex rules
-    never fire on prose. Block comments are handled by the caller."""
-    out = []
-    i, n = 0, len(line)
-    in_str = None
-    while i < n:
-        ch = line[i]
-        if in_str:
-            if ch == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if ch == in_str:
-                in_str = None
-            out.append(" ")
-        elif ch in ("\"", "'"):
-            in_str = ch
-            out.append(" ")
-        elif ch == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        else:
-            out.append(ch)
-        i += 1
-    return "".join(out)
-
-
-def iter_code_lines(text):
-    """Yield (lineno, code) with comments and literals blanked."""
-    in_block = False
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw
-        if in_block:
-            end = line.find("*/")
-            if end < 0:
-                continue
-            line = " " * (end + 2) + line[end + 2:]
-            in_block = False
-        # Remove complete /* ... */ spans, then detect an opener.
-        line = re.sub(r"/\*.*?\*/", lambda m: " " * len(m.group()), line)
-        start = line.find("/*")
-        if start >= 0:
-            line = line[:start]
-            in_block = True
-        yield lineno, strip_comments_and_strings(line)
-
-
-def collect_files(paths):
-    files = []
-    for path in paths:
-        full = os.path.join(REPO_ROOT, path)
-        if os.path.isfile(full):
-            files.append(path)
-            continue
-        for dirpath, _, names in os.walk(full):
-            for name in sorted(names):
-                if name.endswith(SOURCE_EXTS):
-                    rel = os.path.relpath(os.path.join(dirpath, name),
-                                          REPO_ROOT)
-                    files.append(rel)
-    return sorted(set(files))
-
-
-# --- Rule 3 support: harvest Status-returning function names. ------------
-
-# Declarations like `Status Foo(...)`, `StatusOr<T> Bar(...)`, including
-# qualified definitions `Status BTree::Insert(...)`. We harvest the bare
-# method name; call sites are matched on `obj.Name(` / `Name(`.
-DECL_RE = re.compile(
-    r"\b(?:static\s+)?(?:virtual\s+)?Status(?:Or<[^;>]*>)?\s+"
-    r"(?:[A-Za-z_]\w*::)?([A-Z]\w*)\s*\(")
-
-# Names that also have common non-Status overloads or whose bare call is
-# legitimately valueless would go here. Kept empty on purpose: today every
-# harvested name is unambiguous; add entries only with a justification.
-STATUS_NAME_EXCEPTIONS = set()
-
-
-def harvest_status_functions(files):
-    names = set()
-    for rel in files:
-        if not rel.endswith(HEADER_EXTS):
-            continue
-        with open(os.path.join(REPO_ROOT, rel), encoding="utf-8") as f:
-            text = f.read()
-        for _, code in iter_code_lines(text):
-            for m in DECL_RE.finditer(code):
-                names.add(m.group(1))
-    return names - STATUS_NAME_EXCEPTIONS
-
-
-def lint_file(rel, status_names, problems):
-    full = os.path.join(REPO_ROOT, rel)
-    with open(full, encoding="utf-8") as f:
-        text = f.read()
-
-    is_header = rel.endswith(HEADER_EXTS)
-    if is_header and "#pragma once" not in text:
-        problems.append((rel, 1, "pragma-once",
-                         "header missing '#pragma once'"))
-
-    allow_raw = rel.replace(os.sep, "/") in {
-        p.replace(os.sep, "/") for p in RAW_NEW_ALLOWLIST}
-    allow_raw_io = rel.replace(os.sep, "/").startswith(
-        RAW_FILE_IO_ALLOWDIR.replace(os.sep, "/") + "/")
-
-    call_re = None
-    if status_names:
-        call_re = re.compile(
-            r"^\s*(?:[A-Za-z_]\w*(?:\.|->|::))*(%s)\s*\(" %
-            "|".join(sorted(status_names)))
-
-    # Tail of the previous non-blank code line, used to spot continuation
-    # lines: `StatusOr<T> x =\n    Foo(...)` is consumed, not dropped.
-    prev_tail = ""
-    for lineno, code in iter_code_lines(text):
-        if not allow_raw:
-            if re.search(r"\bnew\s+[A-Za-z_(]", code):
-                problems.append((rel, lineno, "raw-new-delete",
-                                 "raw 'new'; use std::make_unique"))
-            if re.search(r"\bdelete(\[\])?\s+[A-Za-z_*(]", code):
-                problems.append((rel, lineno, "raw-new-delete",
-                                 "raw 'delete'; use owning smart pointers"))
-
-        if not allow_raw_io and RAW_FILE_IO_RE.search(code):
-            problems.append(
-                (rel, lineno, "raw-file-io",
-                 "unchecked stream IO; use persist/io.h "
-                 "(ReadFileToString/AtomicWriteFile) or a persist format"))
-
-        for name, why in BANNED_CALLS.items():
-            # Bare calls only: `rand(`, `std::time(`, not `x.time(` or
-            # identifiers that merely end with the name.
-            if re.search(r"(?<![\w.>])(?:std::)?%s\s*\(" % name, code):
-                problems.append((rel, lineno, "banned-random",
-                                 "call to %s(): %s" % (name, why)))
-
-        if call_re and call_re.match(code):
-            # A bare-statement call: the line starts with the call itself
-            # AND the previous line completed a statement. Consumed forms
-            # start with return/(void)/assignment/if etc. (which the
-            # anchored pattern never matches) or continue a line ending in
-            # '=', '(', ',', '&&', etc. (which prev_tail rules out).
-            statement_start = prev_tail in ("", ";", "{", "}", ":")
-            if statement_start and code.rstrip().endswith((";", "(", ",")):
-                name = call_re.match(code).group(1)
-                problems.append(
-                    (rel, lineno, "status-ignored",
-                     "result of Status-returning %s() is dropped; "
-                     "check it or cast to (void)" % name))
-
-        stripped = code.strip()
-        if stripped:
-            prev_tail = stripped[-1]
-
-
-def main(argv):
-    paths = argv[1:] or ["src"]
-    files = collect_files(paths)
-    if not files:
-        print("lint.py: no source files found under: %s" % ", ".join(paths))
-        return 1
-
-    # Status-returning names come from all project headers regardless of
-    # which subset is being linted, so call sites resolve consistently.
-    api_files = collect_files(["src"])
-    status_names = harvest_status_functions(api_files)
-
-    problems = []
-    for rel in files:
-        lint_file(rel, status_names, problems)
-
-    if problems:
-        for rel, lineno, rule, msg in problems:
-            print("%s:%d: [%s] %s" % (rel, lineno, rule, msg))
-        print("lint.py: %d problem(s) in %d file(s)" %
-              (len(problems), len({p[0] for p in problems})))
-        return 1
-
-    print("lint.py: OK (%d files, %d Status-returning functions tracked)" %
-          (len(files), len(status_names)))
-    return 0
-
+from analysis.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main(sys.argv[1:]))

@@ -51,6 +51,7 @@ uint64_t HashConfig(const IndexConfig& config) {
 
 double IndexBenefitEstimator::CombineFeatures(
     const CostBreakdown& breakdown) const {
+  util::MutexLock lock(obs_mu_);
   if (model_.trained()) {
     return model_.Predict(breakdown.Features());
   }
@@ -76,7 +77,7 @@ double IndexBenefitEstimator::EstimateWorkloadCost(
     double cost;
     bool hit = false;
     {
-      std::lock_guard<std::mutex> lock(cache_mu_);
+      util::MutexLock lock(cache_mu_);
       if (cache_epoch_ != epoch) {
         // Data or statistics moved since these entries were computed.
         cache_.clear();
@@ -91,7 +92,7 @@ double IndexBenefitEstimator::EstimateWorkloadCost(
     if (!hit) {
       // Compute outside the lock: the what-if model is the expensive part.
       cost = EstimateStatementCost(entry.tmpl->representative, config);
-      std::lock_guard<std::mutex> lock(cache_mu_);
+      util::MutexLock lock(cache_mu_);
       if (cache_epoch_ == epoch) cache_.emplace(key, cost);
     }
     total += entry.weight * cost;
@@ -108,23 +109,23 @@ double IndexBenefitEstimator::EstimateBenefit(const WorkloadModel& workload,
 
 void IndexBenefitEstimator::AddObservation(const std::vector<double>& features,
                                            double measured_cost) {
-  std::lock_guard<std::mutex> lock(obs_mu_);
+  util::MutexLock lock(obs_mu_);
   features_.push_back(features);
   targets_.push_back(measured_cost);
 }
 
 size_t IndexBenefitEstimator::num_observations() const {
-  std::lock_guard<std::mutex> lock(obs_mu_);
+  util::MutexLock lock(obs_mu_);
   return features_.size();
 }
 
 void IndexBenefitEstimator::InvalidateCache() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  util::MutexLock lock(cache_mu_);
   cache_.clear();
 }
 
 size_t IndexBenefitEstimator::cache_size() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  util::MutexLock lock(cache_mu_);
   return cache_.size();
 }
 
@@ -132,20 +133,29 @@ double IndexBenefitEstimator::TrainModel(size_t min_observations) {
   std::vector<std::vector<double>> features;
   std::vector<double> targets;
   {
-    std::lock_guard<std::mutex> lock(obs_mu_);
+    util::MutexLock lock(obs_mu_);
     if (features_.size() < min_observations) return -1.0;
     features = features_;
     targets = targets_;
   }
+  // Train on the copy without holding obs_mu_ (training is by far the
+  // most expensive step and Train() reinitializes all state itself), then
+  // publish the result atomically. Estimates running meanwhile combine
+  // with the previous model — never a half-trained one.
+  SigmoidRegression trained;
   TrainConfig config;
   config.epochs = 200;
-  const double mse = model_.Train(features, targets, config);
+  const double mse = trained.Train(features, targets, config);
+  if (trained.trained()) {
+    util::MutexLock lock(obs_mu_);
+    model_ = std::move(trained);
+  }
   InvalidateCache();  // model change invalidates memoized costs
   return mse;
 }
 
 double IndexBenefitEstimator::CrossValidateRmse() const {
-  std::lock_guard<std::mutex> lock(obs_mu_);
+  util::MutexLock lock(obs_mu_);
   return SigmoidRegression::CrossValidate(features_, targets_, 9);
 }
 
@@ -159,7 +169,7 @@ std::string PathKey(const std::string& table, const std::string& index) {
 
 void IndexBenefitEstimator::RecordExecutionFeedback(
     const std::vector<AccessPathFeedback>& batch) {
-  std::lock_guard<std::mutex> lock(feedback_mu_);
+  util::MutexLock lock(feedback_mu_);
   for (const AccessPathFeedback& fb : batch) {
     PathFeedback& agg = path_feedback_[PathKey(fb.table, fb.index)];
     agg.est_cost_sum += fb.est_cost;
@@ -172,19 +182,19 @@ void IndexBenefitEstimator::RecordExecutionFeedback(
 }
 
 size_t IndexBenefitEstimator::num_feedback_pairs() const {
-  std::lock_guard<std::mutex> lock(feedback_mu_);
+  util::MutexLock lock(feedback_mu_);
   return num_feedback_pairs_;
 }
 
 bool IndexBenefitEstimator::HasFeedbackFor(const std::string& table,
                                            const std::string& index) const {
-  std::lock_guard<std::mutex> lock(feedback_mu_);
+  util::MutexLock lock(feedback_mu_);
   return path_feedback_.find(PathKey(table, index)) != path_feedback_.end();
 }
 
 double IndexBenefitEstimator::FeedbackCostRatio(
     const std::string& table, const std::string& index) const {
-  std::lock_guard<std::mutex> lock(feedback_mu_);
+  util::MutexLock lock(feedback_mu_);
   auto it = path_feedback_.find(PathKey(table, index));
   if (it == path_feedback_.end()) return 1.0;
   const PathFeedback& agg = it->second;
@@ -193,9 +203,9 @@ double IndexBenefitEstimator::FeedbackCostRatio(
 }
 
 void IndexBenefitEstimator::Save(persist::Writer* w) const {
-  model_.Save(w);
   {
-    std::lock_guard<std::mutex> lock(obs_mu_);
+    util::MutexLock lock(obs_mu_);
+    model_.Save(w);
     w->PutU32(static_cast<uint32_t>(features_.size()));
     for (size_t i = 0; i < features_.size(); ++i) {
       w->PutU32(static_cast<uint32_t>(features_[i].size()));
@@ -204,7 +214,7 @@ void IndexBenefitEstimator::Save(persist::Writer* w) const {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(feedback_mu_);
+    util::MutexLock lock(feedback_mu_);
     // std::map sorts the path keys for byte-stable snapshots.
     const std::map<std::string, PathFeedback> sorted(path_feedback_.begin(),
                                                      path_feedback_.end());
@@ -222,9 +232,9 @@ void IndexBenefitEstimator::Save(persist::Writer* w) const {
 }
 
 void IndexBenefitEstimator::Load(persist::Reader* r) {
-  model_ = SigmoidRegression::Load(r);
   {
-    std::lock_guard<std::mutex> lock(obs_mu_);
+    util::MutexLock lock(obs_mu_);
+    model_ = SigmoidRegression::Load(r);
     features_.clear();
     targets_.clear();
     const uint32_t nobs = r->GetU32();
@@ -240,7 +250,7 @@ void IndexBenefitEstimator::Load(persist::Reader* r) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(feedback_mu_);
+    util::MutexLock lock(feedback_mu_);
     path_feedback_.clear();
     const uint32_t npaths = r->GetU32();
     for (uint32_t i = 0; i < npaths && r->ok(); ++i) {

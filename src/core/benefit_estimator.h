@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +9,7 @@
 #include "engine/database.h"
 #include "engine/what_if.h"
 #include "ml/regression.h"
+#include "util/mutex.h"
 
 namespace autoindex {
 
@@ -46,7 +46,8 @@ class IndexBenefitEstimator {
 
   // Estimated cost of one statement under a config (model-combined).
   double EstimateStatementCost(const Statement& stmt,
-                               const IndexConfig& config) const;
+                               const IndexConfig& config) const
+      EXCLUDES(obs_mu_);
 
   // Estimated total workload cost. Memoized per (template, config) — MCTS
   // evaluates thousands of configs over the same templates. The memo is
@@ -55,7 +56,8 @@ class IndexBenefitEstimator {
   // entries were computed, so costs can never be served against stale
   // table contents or statistics.
   double EstimateWorkloadCost(const WorkloadModel& workload,
-                              const IndexConfig& config) const;
+                              const IndexConfig& config) const
+      EXCLUDES(obs_mu_, cache_mu_);
 
   // Benefit of moving from `from` to `to`: positive = `to` is cheaper.
   double EstimateBenefit(const WorkloadModel& workload,
@@ -65,21 +67,28 @@ class IndexBenefitEstimator {
   // Records one historical observation: the cost features of a statement
   // (estimated under the then-current config) and its measured cost.
   void AddObservation(const std::vector<double>& features,
-                      double measured_cost);
+                      double measured_cost) EXCLUDES(obs_mu_);
   // Trains when enough observations exist; returns final training MSE or
-  // a negative value when skipped.
-  double TrainModel(size_t min_observations = 64);
-  bool model_trained() const { return model_.trained(); }
-  size_t num_observations() const;
+  // a negative value when skipped. Training runs on a copy of the history
+  // and the freshly trained model is swapped in under obs_mu_, so
+  // concurrent estimates always see either the old or the new model —
+  // never a half-trained one.
+  double TrainModel(size_t min_observations = 64)
+      EXCLUDES(obs_mu_, cache_mu_);
+  bool model_trained() const EXCLUDES(obs_mu_) {
+    util::MutexLock lock(obs_mu_);
+    return model_.trained();
+  }
+  size_t num_observations() const EXCLUDES(obs_mu_);
   // 9-fold cross-validated RMSE over the collected history.
-  double CrossValidateRmse() const;
+  double CrossValidateRmse() const EXCLUDES(obs_mu_);
 
   // Explicitly flushes the (template, config) memo. Usually unnecessary —
   // the epoch guard (see EstimateWorkloadCost) invalidates automatically
   // on data/stats change — but kept for model swaps and tests.
-  void InvalidateCache() const;
+  void InvalidateCache() const EXCLUDES(cache_mu_);
   // Memo entries currently held (tests).
-  size_t cache_size() const;
+  size_t cache_size() const EXCLUDES(cache_mu_);
 
   // --- execution feedback (the EXPLAIN ANALYZE loop) ---
   // Records the per-access-path (estimated, observed) pairs the executor
@@ -87,24 +96,27 @@ class IndexBenefitEstimator {
   // planner's systematic estimation error on each path is measurable.
   // Kept separate from AddObservation: feedback calibrates access paths,
   // the observation history trains the statement-level cost model.
-  void RecordExecutionFeedback(const std::vector<AccessPathFeedback>& batch);
+  void RecordExecutionFeedback(const std::vector<AccessPathFeedback>& batch)
+      EXCLUDES(feedback_mu_);
   // Total pairs ever recorded.
-  size_t num_feedback_pairs() const;
+  size_t num_feedback_pairs() const EXCLUDES(feedback_mu_);
   // Whether at least one pair was recorded for the path. `index` is the
   // display name; empty means the sequential-scan path.
   bool HasFeedbackFor(const std::string& table,
-                      const std::string& index) const;
+                      const std::string& index) const EXCLUDES(feedback_mu_);
   // Mean observed/estimated cost ratio of the path: >1 means the planner
   // underestimates it. 1.0 when unseen or the estimate is degenerate.
   double FeedbackCostRatio(const std::string& table,
-                           const std::string& index) const;
+                           const std::string& index) const
+      EXCLUDES(feedback_mu_);
 
   // Snapshot serialization (src/persist/): the learned model, the
   // observation history, and the per-path feedback aggregates round-trip;
   // the epoch-guarded cost memo is deliberately not saved (it rebuilds
   // lazily and its epoch would be stale anyway).
-  void Save(persist::Writer* w) const;
-  void Load(persist::Reader* r);
+  void Save(persist::Writer* w) const EXCLUDES(obs_mu_, feedback_mu_);
+  void Load(persist::Reader* r)
+      EXCLUDES(obs_mu_, feedback_mu_, cache_mu_);
 
  private:
   struct PathFeedback {
@@ -115,30 +127,33 @@ class IndexBenefitEstimator {
     size_t count = 0;
   };
 
-  double CombineFeatures(const CostBreakdown& breakdown) const;
+  double CombineFeatures(const CostBreakdown& breakdown) const
+      EXCLUDES(obs_mu_);
 
   Database* db_;
-  SigmoidRegression model_;
 
-  // Guards the observation history (client feedback hooks append while
-  // the tuning thread trains/reads).
-  mutable std::mutex obs_mu_;
-  std::vector<std::vector<double>> features_;
-  std::vector<double> targets_;
+  // Guards the learned model and the observation history it trains on
+  // (client feedback hooks append while the tuning thread trains/reads;
+  // estimation reads the model from whichever thread runs the tuner).
+  mutable util::Mutex obs_mu_;
+  SigmoidRegression model_ GUARDED_BY(obs_mu_);
+  std::vector<std::vector<double>> features_ GUARDED_BY(obs_mu_);
+  std::vector<double> targets_ GUARDED_BY(obs_mu_);
 
   // Guards the cost memo and its data-version epoch.
-  mutable std::mutex cache_mu_;
+  mutable util::Mutex cache_mu_;
   // Memo: hash-combined (template id, config hash) -> cost.
-  mutable std::unordered_map<uint64_t, double> cache_;
+  mutable std::unordered_map<uint64_t, double> cache_ GUARDED_BY(cache_mu_);
   // Database data version the memo entries were computed at.
-  mutable uint64_t cache_epoch_ = 0;
+  mutable uint64_t cache_epoch_ GUARDED_BY(cache_mu_) = 0;
 
   // Guards the per-access-path aggregates (written from client threads
   // via the execution-feedback hook, read by the tuning thread).
-  mutable std::mutex feedback_mu_;
+  mutable util::Mutex feedback_mu_;
   // Keyed "<table>\x01<index display name>".
-  std::unordered_map<std::string, PathFeedback> path_feedback_;
-  size_t num_feedback_pairs_ = 0;
+  std::unordered_map<std::string, PathFeedback> path_feedback_
+      GUARDED_BY(feedback_mu_);
+  size_t num_feedback_pairs_ GUARDED_BY(feedback_mu_) = 0;
 };
 
 // Stable hash of a configuration (order-independent).

@@ -42,7 +42,7 @@ MctsIndexSelector::MctsIndexSelector(Database* db,
 MctsIndexSelector::~MctsIndexSelector() = default;
 
 void MctsIndexSelector::Reset() {
-  std::lock_guard<std::mutex> lock(tree_mu_);
+  util::MutexLock lock(tree_mu_);
   root_.reset();
   tree_size_ = 0;
 }
@@ -220,7 +220,7 @@ double MctsIndexSelector::EvaluateNode(
 MctsResult MctsIndexSelector::Run(const IndexConfig& existing,
                                   const std::vector<IndexDef>& candidates,
                                   const WorkloadModel& workload) {
-  std::lock_guard<std::mutex> lock(tree_mu_);
+  util::MutexLock lock(tree_mu_);
   ++generation_;
   workload_ = &workload;
 
@@ -312,7 +312,7 @@ MctsResult MctsIndexSelector::Run(const IndexConfig& existing,
 }
 
 Status MctsIndexSelector::ValidateTree() const {
-  std::lock_guard<std::mutex> lock(tree_mu_);
+  util::MutexLock lock(tree_mu_);
   if (root_ == nullptr) {
     if (tree_size() != 0) {
       return Status::Internal(StrCat(
@@ -377,14 +377,14 @@ Status MctsIndexSelector::ValidateTree() const {
 }
 
 bool MctsIndexSelector::TestOnlyCorruptVisitCount() {
-  std::lock_guard<std::mutex> lock(tree_mu_);
+  util::MutexLock lock(tree_mu_);
   if (root_ == nullptr || root_->children.empty()) return false;
   root_->children[0]->visits = root_->visits + 1;
   return true;
 }
 
 bool MctsIndexSelector::TestOnlyCorruptBenefit() {
-  std::lock_guard<std::mutex> lock(tree_mu_);
+  util::MutexLock lock(tree_mu_);
   if (root_ == nullptr) return false;
   root_->benefit = 2.0;
   return true;
@@ -409,7 +409,7 @@ IndexConfig GetIndexConfig(persist::Reader* r) {
 }  // namespace
 
 void MctsIndexSelector::SaveTree(persist::Writer* w) const {
-  std::lock_guard<std::mutex> lock(tree_mu_);
+  util::MutexLock lock(tree_mu_);
   w->PutU64(rng_.state0());
   w->PutU64(rng_.state1());
   w->PutU64(generation_);
@@ -438,7 +438,7 @@ void MctsIndexSelector::SaveTree(persist::Writer* w) const {
 
 Status MctsIndexSelector::LoadTree(persist::Reader* r) {
   {
-    std::lock_guard<std::mutex> lock(tree_mu_);
+    util::MutexLock lock(tree_mu_);
     const uint64_t s0 = r->GetU64();
     const uint64_t s1 = r->GetU64();
     rng_.SetState(s0, s1);
@@ -503,7 +503,7 @@ Status MctsIndexSelector::LoadTree(persist::Reader* r) {
   // Validation re-takes tree_mu_, so it must run outside the scope above.
   Status s = ValidateTree();
   if (!s.ok()) {
-    std::lock_guard<std::mutex> lock(tree_mu_);
+    util::MutexLock lock(tree_mu_);
     root_.reset();
     tree_size_.store(0, std::memory_order_relaxed);
     return s;

@@ -2,12 +2,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/benefit_estimator.h"
 #include "engine/database.h"
 #include "engine/what_if.h"
+#include "util/mutex.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -83,10 +83,10 @@ class MctsIndexSelector {
   // budget and the estimator's workload cost.
   MctsResult Run(const IndexConfig& existing,
                  const std::vector<IndexDef>& candidates,
-                 const WorkloadModel& workload);
+                 const WorkloadModel& workload) EXCLUDES(tree_mu_);
 
   // Drops the persistent tree (tests / hard workload resets).
-  void Reset();
+  void Reset() EXCLUDES(tree_mu_);
   size_t tree_size() const {
     return tree_size_.load(std::memory_order_relaxed);
   }
@@ -97,15 +97,22 @@ class MctsIndexSelector {
   // monotone up the tree (max-backprop), and tree_size() matching a fresh
   // walk. Ok() when healthy; Internal naming the first violation
   // otherwise. An empty tree (before the first Run) is healthy.
-  Status ValidateTree() const;
+  Status ValidateTree() const EXCLUDES(tree_mu_);
 
   // --- Test-only corruption hooks (see src/check/); never call outside
   // tests. Each returns false when the tree is too small to corrupt.
-  bool TestOnlyCorruptVisitCount();  // child visits exceed its parent's
-  bool TestOnlyCorruptBenefit();     // benefit pushed out of [0, 1]
+  bool TestOnlyCorruptVisitCount() EXCLUDES(tree_mu_);  // child visits exceed
+                                                        // its parent's
+  bool TestOnlyCorruptBenefit() EXCLUDES(tree_mu_);  // benefit out of [0, 1]
 
-  const MctsConfig& config() const { return config_; }
-  void set_storage_budget(size_t bytes) {
+  // By value: the live config is guarded (set_storage_budget may move the
+  // budget concurrently with a Run on the tuning thread).
+  MctsConfig config() const EXCLUDES(tree_mu_) {
+    util::MutexLock lock(tree_mu_);
+    return config_;
+  }
+  void set_storage_budget(size_t bytes) EXCLUDES(tree_mu_) {
+    util::MutexLock lock(tree_mu_);
     config_.storage_budget_bytes = bytes;
   }
 
@@ -114,8 +121,8 @@ class MctsIndexSelector {
   // and the evaluation generation round-trip, so a reloaded selector's
   // next Run() explores identically to the live one's. LoadTree replaces
   // the current tree and validates the result.
-  void SaveTree(persist::Writer* w) const;
-  Status LoadTree(persist::Reader* r);
+  void SaveTree(persist::Writer* w) const EXCLUDES(tree_mu_);
+  Status LoadTree(persist::Reader* r) EXCLUDES(tree_mu_);
 
  private:
   struct Node;
@@ -126,35 +133,38 @@ class MctsIndexSelector {
   // Tries to find a depth<=2 descendant of the root whose config equals
   // `target`; promotes it to root (incremental rebase). Returns true on
   // success.
-  bool RebaseRoot(const IndexConfig& target);
+  bool RebaseRoot(const IndexConfig& target) REQUIRES(tree_mu_);
 
   void ExpandNode(Node* node, const std::vector<IndexDef>& candidates,
-                  const IndexConfig& existing);
+                  const IndexConfig& existing) REQUIRES(tree_mu_);
   // Evaluates a node: own config + K random rollouts; returns the best
   // normalized benefit found and records the global best config.
   double EvaluateNode(Node* node, const std::vector<IndexDef>& candidates,
-                      const WorkloadModel& workload);
-  double ConfigCost(const IndexConfig& config, const WorkloadModel& workload);
-  bool WithinBudget(const IndexConfig& config) const;
-  void ConsiderBest(const IndexConfig& config, double cost);
+                      const WorkloadModel& workload) REQUIRES(tree_mu_);
+  double ConfigCost(const IndexConfig& config, const WorkloadModel& workload)
+      REQUIRES(tree_mu_);
+  bool WithinBudget(const IndexConfig& config) const REQUIRES(tree_mu_);
+  void ConsiderBest(const IndexConfig& config, double cost)
+      REQUIRES(tree_mu_);
 
   Database* db_;
   IndexBenefitEstimator* estimator_;
-  MctsConfig config_;
-  Random rng_;
 
   // Serializes tree structure access (Run/Reset/ValidateTree/corruption
-  // hooks); see class comment.
-  mutable std::mutex tree_mu_;
-  std::unique_ptr<Node> root_;
+  // hooks); see class comment. Also guards the live config: the tuning
+  // loop moves the storage budget between (and potentially during) runs.
+  mutable util::Mutex tree_mu_;
+  MctsConfig config_ GUARDED_BY(tree_mu_);
+  Random rng_ GUARDED_BY(tree_mu_);
+  std::unique_ptr<Node> root_ GUARDED_BY(tree_mu_);
   std::atomic<size_t> tree_size_{0};
-  uint64_t generation_ = 0;
+  uint64_t generation_ GUARDED_BY(tree_mu_) = 0;
 
   // Per-Run scratch.
-  double base_cost_ = 0.0;
-  double best_cost_ = 0.0;
-  IndexConfig best_config_;
-  const WorkloadModel* workload_ = nullptr;
+  double base_cost_ GUARDED_BY(tree_mu_) = 0.0;
+  double best_cost_ GUARDED_BY(tree_mu_) = 0.0;
+  IndexConfig best_config_ GUARDED_BY(tree_mu_);
+  const WorkloadModel* workload_ GUARDED_BY(tree_mu_) = nullptr;
 };
 
 }  // namespace autoindex

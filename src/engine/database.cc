@@ -70,20 +70,21 @@ std::unique_ptr<Executor> Database::MakeSessionExecutor() {
 }
 
 void Database::set_execution_feedback_hook(Executor::FeedbackHook hook) {
-  std::lock_guard<std::mutex> lock(feedback_mu_);
+  util::MutexLock lock(feedback_mu_);
   feedback_hook_ = std::move(hook);
 }
 
 void Database::DeliverFeedback(const std::vector<AccessPathFeedback>& batch) {
-  std::lock_guard<std::mutex> lock(feedback_mu_);
+  util::MutexLock lock(feedback_mu_);
   if (feedback_hook_) feedback_hook_(batch);
 }
 
-Status Database::CommitDurable(const std::function<Status(uint64_t)>& append) {
-  std::lock_guard<std::mutex> lock(wal_mu_);
+Status Database::CommitDurable(
+    const std::function<Status(DurabilityLog*, uint64_t)>& append) {
+  util::MutexLock lock(wal_mu_);
   const uint64_t version = BumpDataVersion();
   if (durability_log_ == nullptr) return Status::Ok();
-  return append(version);
+  return append(durability_log_, version);
 }
 
 StatusOr<HeapTable*> Database::CreateTable(const std::string& name,
@@ -91,9 +92,8 @@ StatusOr<HeapTable*> Database::CreateTable(const std::string& name,
   // The WAL record needs the schema after the catalog takes ownership.
   StatusOr<HeapTable*> table = catalog_->CreateTable(name, std::move(schema));
   if (!table.ok()) return table;
-  Status logged = CommitDurable([&](uint64_t version) {
-    return durability_log_->AppendCreateTable(name, (*table)->schema(),
-                                              version);
+  Status logged = CommitDurable([&](DurabilityLog* log, uint64_t version) {
+    return log->AppendCreateTable(name, (*table)->schema(), version);
   });
   if (!logged.ok()) return logged;
   return table;
@@ -107,8 +107,8 @@ Status Database::CreateIndex(const IndexDef& def) {
   if (s.ok()) {
     // Logged under the latch so no later mutation of this table can slip
     // into the log ahead of the index build that observed it.
-    s = CommitDurable([&](uint64_t version) {
-      return durability_log_->AppendCreateIndex(def, version);
+    s = CommitDurable([&](DurabilityLog* log, uint64_t version) {
+      return log->AppendCreateIndex(def, version);
     });
   }
   guard.Release();
@@ -122,8 +122,8 @@ Status Database::DropIndex(const std::string& key_or_name) {
   if (!table.empty()) guard = latches_.AcquireExclusive(table);
   Status s = index_manager_->DropIndex(key_or_name);
   if (s.ok()) {
-    s = CommitDurable([&](uint64_t version) {
-      return durability_log_->AppendDropIndex(key_or_name, version);
+    s = CommitDurable([&](DurabilityLog* log, uint64_t version) {
+      return log->AppendDropIndex(key_or_name, version);
     });
   }
   guard.Release();
@@ -148,8 +148,8 @@ StatusOr<ExecResult> Database::ExecuteOn(Executor* executor,
   if (result.ok() && stmt.IsWrite()) {
     // Logged while the exclusive table latch is still held, so WAL order
     // equals execution order for every table.
-    Status logged = CommitDurable([&](uint64_t version) {
-      return durability_log_->AppendStatement(stmt, version);
+    Status logged = CommitDurable([&](DurabilityLog* log, uint64_t version) {
+      return log->AppendStatement(stmt, version);
     });
     if (!logged.ok()) {
       guard.Release();
@@ -173,15 +173,15 @@ Status Database::BulkInsert(const std::string& table, std::vector<Row> rows) {
   // Insert moves the rows away, so the WAL copy is taken up front (only
   // when a log is attached — the population fast path stays copy-free).
   std::vector<Row> logged_rows;
-  if (durability_log_ != nullptr) logged_rows = rows;
+  if (HasDurabilityLog()) logged_rows = rows;
   LatchManager::Guard guard = latches_.AcquireExclusive(table);
   for (Row& row : rows) {
     StatusOr<RowId> rid = t->Insert(std::move(row));
     if (!rid.ok()) return rid.status();
     index_manager_->OnInsert(table, *rid, t->Get(*rid));
   }
-  Status logged = CommitDurable([&](uint64_t version) {
-    return durability_log_->AppendBulkInsert(table, logged_rows, version);
+  Status logged = CommitDurable([&](DurabilityLog* log, uint64_t version) {
+    return log->AppendBulkInsert(table, logged_rows, version);
   });
   guard.Release();
   if (!logged.ok()) return logged;
@@ -194,15 +194,15 @@ void Database::Analyze() {
   stats_manager_->AnalyzeAll();
   // Fresh statistics change every what-if estimate; logged so replay
   // rebuilds the same statistics (and thus the same cost estimates).
-  (void)CommitDurable([&](uint64_t version) {
-    return durability_log_->AppendAnalyze(std::string(), version);
+  (void)CommitDurable([&](DurabilityLog* log, uint64_t version) {
+    return log->AppendAnalyze(std::string(), version);
   });
 }
 
 void Database::Analyze(const std::string& table) {
   stats_manager_->Analyze(table);
-  (void)CommitDurable([&](uint64_t version) {
-    return durability_log_->AppendAnalyze(table, version);
+  (void)CommitDurable([&](DurabilityLog* log, uint64_t version) {
+    return log->AppendAnalyze(table, version);
   });
 }
 

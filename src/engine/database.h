@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -15,6 +14,7 @@
 #include "stats/stats_manager.h"
 #include "storage/catalog.h"
 #include "storage/latch_manager.h"
+#include "util/mutex.h"
 
 namespace autoindex {
 
@@ -106,11 +106,18 @@ class Database {
   // --- Durability (src/persist/) ---
   // Attaches a write-ahead log. Every committed mutation is appended to it
   // under wal_mu_, paired atomically with its data-version bump, so record
-  // order in the log always matches version order. Null detaches. Not
-  // thread-safe against in-flight statements: attach/detach while quiesced
-  // (startup, recovery, checkpoint).
-  void set_durability_log(DurabilityLog* log) { durability_log_ = log; }
-  DurabilityLog* durability_log() const { return durability_log_; }
+  // order in the log always matches version order. Null detaches. The
+  // pointer itself is guarded by wal_mu_, but attach/detach should still
+  // happen while quiesced (startup, recovery, checkpoint): statements
+  // already past their append see the previous log.
+  void set_durability_log(DurabilityLog* log) EXCLUDES(wal_mu_) {
+    util::MutexLock lock(wal_mu_);
+    durability_log_ = log;
+  }
+  DurabilityLog* durability_log() const EXCLUDES(wal_mu_) {
+    util::MutexLock lock(wal_mu_);
+    return durability_log_;
+  }
 
   // --- Correctness tooling (src/check/) ---
   // Debug-mode invariant hook: when installed, it runs after every
@@ -134,10 +141,12 @@ class Database {
   // cost-model learning is enabled. The hook is shared by the legacy
   // executor and every session executor, and may be (re)installed while
   // sessions are executing.
-  void set_execution_feedback_hook(Executor::FeedbackHook hook);
+  void set_execution_feedback_hook(Executor::FeedbackHook hook)
+      EXCLUDES(feedback_mu_);
 
   // Internal: executors forward their per-statement feedback here.
-  void DeliverFeedback(const std::vector<AccessPathFeedback>& batch);
+  void DeliverFeedback(const std::vector<AccessPathFeedback>& batch)
+      EXCLUDES(feedback_mu_);
 
   // Internal: a fresh executor wired to this database's feedback fan-in
   // (Session construction).
@@ -157,17 +166,29 @@ class Database {
 
  private:
   // Bumps the data version and, when a durability log is attached, appends
-  // the record via `append(new_version)` — both under wal_mu_ so
-  // concurrent writers cannot interleave their (bump, append) pairs.
-  Status CommitDurable(const std::function<Status(uint64_t)>& append);
+  // the record via `append(log, new_version)` — both under wal_mu_ so
+  // concurrent writers cannot interleave their (bump, append) pairs. The
+  // callback receives the attached log (never null when invoked) so it can
+  // append without touching the guarded pointer itself.
+  Status CommitDurable(
+      const std::function<Status(DurabilityLog*, uint64_t)>& append)
+      EXCLUDES(wal_mu_);
+
+  // Whether a durability log is currently attached (BulkInsert's copy
+  // decision; the append itself re-reads the pointer under wal_mu_).
+  bool HasDurabilityLog() const EXCLUDES(wal_mu_) {
+    util::MutexLock lock(wal_mu_);
+    return durability_log_ != nullptr;
+  }
 
   CostParams params_;
   InvariantHook invariant_hook_;
   mutable LatchManager latches_;
   std::atomic<uint64_t> data_version_{1};
-  DurabilityLog* durability_log_ = nullptr;
-  // Serializes (data-version bump, WAL append) pairs across writers.
-  std::mutex wal_mu_;
+  // Serializes (data-version bump, WAL append) pairs across writers and
+  // guards the attached log pointer.
+  mutable util::Mutex wal_mu_;
+  DurabilityLog* durability_log_ GUARDED_BY(wal_mu_) = nullptr;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<IndexManager> index_manager_;
   std::unique_ptr<StatsManager> stats_manager_;
@@ -175,8 +196,8 @@ class Database {
   std::unique_ptr<WhatIfCostModel> what_if_;
   // Guards the central feedback hook (installed by the manager, invoked
   // from every client thread's executor).
-  std::mutex feedback_mu_;
-  Executor::FeedbackHook feedback_hook_;
+  mutable util::Mutex feedback_mu_;
+  Executor::FeedbackHook feedback_hook_ GUARDED_BY(feedback_mu_);
 };
 
 }  // namespace autoindex

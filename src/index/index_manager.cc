@@ -1,7 +1,6 @@
 #include "index/index_manager.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "util/string_util.h"
 
@@ -174,7 +173,7 @@ Status IndexManager::CreateIndex(const IndexDef& def) {
   auto index = std::make_unique<BuiltIndex>(def, *table);
   BuiltIndex* raw = index.get();
   table->Scan([&](RowId rid, const Row& row) { raw->InsertEntry(row, rid); });
-  std::unique_lock lock(mu_);
+  util::WriterLock lock(mu_);
   if (indexes_.count(key) > 0) {
     return Status::AlreadyExists("index exists: " + key);
   }
@@ -183,7 +182,7 @@ Status IndexManager::CreateIndex(const IndexDef& def) {
 }
 
 Status IndexManager::DropIndex(const std::string& index_key_or_name) {
-  std::unique_lock lock(mu_);
+  util::WriterLock lock(mu_);
   if (indexes_.erase(index_key_or_name) > 0) return Status::Ok();
   // Fall back to display-name lookup.
   for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
@@ -196,12 +195,12 @@ Status IndexManager::DropIndex(const std::string& index_key_or_name) {
 }
 
 bool IndexManager::HasIndex(const IndexDef& def) const {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   return indexes_.count(def.Key()) > 0;
 }
 
 std::string IndexManager::TableOf(const std::string& index_key_or_name) const {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   auto it = indexes_.find(index_key_or_name);
   if (it != indexes_.end()) return it->second->def().table;
   for (const auto& [_, index] : indexes_) {
@@ -216,7 +215,7 @@ std::vector<BuiltIndex*> IndexManager::IndexesOnTable(
     const std::string& table) {
   std::vector<BuiltIndex*> out;
   const std::string key = ToLower(table);
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   for (auto& [_, index] : indexes_) {
     if (index->def().table == key) out.push_back(index.get());
   }
@@ -228,7 +227,7 @@ std::vector<const BuiltIndex*> IndexManager::IndexesOnTable(
     const std::string& table) const {
   std::vector<const BuiltIndex*> out;
   const std::string key = ToLower(table);
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   for (const auto& [_, index] : indexes_) {
     if (index->def().table == key) out.push_back(index.get());
   }
@@ -237,7 +236,7 @@ std::vector<const BuiltIndex*> IndexManager::IndexesOnTable(
 }
 
 std::vector<BuiltIndex*> IndexManager::AllIndexes() {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   std::vector<BuiltIndex*> out;
   out.reserve(indexes_.size());
   for (auto& [_, index] : indexes_) out.push_back(index.get());
@@ -246,7 +245,7 @@ std::vector<BuiltIndex*> IndexManager::AllIndexes() {
 }
 
 std::vector<const BuiltIndex*> IndexManager::AllIndexes() const {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   std::vector<const BuiltIndex*> out;
   out.reserve(indexes_.size());
   for (const auto& [_, index] : indexes_) out.push_back(index.get());
@@ -255,12 +254,12 @@ std::vector<const BuiltIndex*> IndexManager::AllIndexes() const {
 }
 
 size_t IndexManager::num_indexes() const {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   return indexes_.size();
 }
 
 size_t IndexManager::TotalIndexBytes() const {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   size_t total = 0;
   for (const auto& [_, index] : indexes_) total += index->SizeBytes();
   return total;
@@ -319,18 +318,18 @@ Status IndexManager::AddHypothetical(const IndexDef& def) {
   hypo.est_entries = view.num_entries;
   hypo.est_height = view.height;
   hypo.est_bytes = view.size_bytes;
-  std::unique_lock lock(mu_);
+  util::WriterLock lock(mu_);
   hypothetical_.push_back(std::move(hypo));
   return Status::Ok();
 }
 
 void IndexManager::ClearHypothetical() {
-  std::unique_lock lock(mu_);
+  util::WriterLock lock(mu_);
   hypothetical_.clear();
 }
 
 std::vector<HypotheticalIndex> IndexManager::hypothetical() const {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   return hypothetical_;
 }
 
@@ -339,7 +338,7 @@ std::vector<IndexStatsView> IndexManager::StatsOnTable(
   std::vector<IndexStatsView> out;
   const std::string key = ToLower(table);
   const HeapTable* t = catalog_->GetTable(table);
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   for (const auto& [_, index] : indexes_) {
     if (index->def().table != key) continue;
     IndexStatsView view;

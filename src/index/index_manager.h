@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +9,7 @@
 #include "index/btree.h"
 #include "index/index_def.h"
 #include "storage/catalog.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace autoindex {
@@ -121,23 +121,26 @@ class IndexManager {
 
   // Builds a real index by scanning the table. Fails on duplicates
   // (same column list) or unknown table/columns.
-  Status CreateIndex(const IndexDef& def);
-  Status DropIndex(const std::string& index_key_or_name);
-  bool HasIndex(const IndexDef& def) const;
+  Status CreateIndex(const IndexDef& def) EXCLUDES(mu_);
+  Status DropIndex(const std::string& index_key_or_name) EXCLUDES(mu_);
+  bool HasIndex(const IndexDef& def) const EXCLUDES(mu_);
 
   // Table owning the index named by key or display name; empty string if
   // the index is unknown. Used to pick the exclusive latch before a drop.
-  std::string TableOf(const std::string& index_key_or_name) const;
+  std::string TableOf(const std::string& index_key_or_name) const
+      EXCLUDES(mu_);
 
   // All built indexes on one table (borrowed pointers).
-  std::vector<BuiltIndex*> IndexesOnTable(const std::string& table);
-  std::vector<const BuiltIndex*> IndexesOnTable(const std::string& table) const;
-  std::vector<BuiltIndex*> AllIndexes();
-  std::vector<const BuiltIndex*> AllIndexes() const;
-  size_t num_indexes() const;
+  std::vector<BuiltIndex*> IndexesOnTable(const std::string& table)
+      EXCLUDES(mu_);
+  std::vector<const BuiltIndex*> IndexesOnTable(const std::string& table) const
+      EXCLUDES(mu_);
+  std::vector<BuiltIndex*> AllIndexes() EXCLUDES(mu_);
+  std::vector<const BuiltIndex*> AllIndexes() const EXCLUDES(mu_);
+  size_t num_indexes() const EXCLUDES(mu_);
 
   // Total bytes of all built indexes.
-  size_t TotalIndexBytes() const;
+  size_t TotalIndexBytes() const EXCLUDES(mu_);
 
   // Write hooks called by the executor to keep indexes in sync. Each
   // returns the number of index entries touched (for cost accounting).
@@ -147,24 +150,26 @@ class IndexManager {
                   const Row& new_row);
 
   // --- Hypothetical indexes ---
-  Status AddHypothetical(const IndexDef& def);
-  void ClearHypothetical();
+  Status AddHypothetical(const IndexDef& def) EXCLUDES(mu_);
+  void ClearHypothetical() EXCLUDES(mu_);
   // Snapshot by value: the registry may be swapped by a concurrent
   // what-if round.
-  std::vector<HypotheticalIndex> hypothetical() const;
+  std::vector<HypotheticalIndex> hypothetical() const EXCLUDES(mu_);
 
   // Stats views of every index (built + hypothetical) on a table; this is
   // what the what-if planner enumerates.
-  std::vector<IndexStatsView> StatsOnTable(const std::string& table) const;
+  std::vector<IndexStatsView> StatsOnTable(const std::string& table) const
+      EXCLUDES(mu_);
 
  private:
   Status ValidateDef(const IndexDef& def) const;
 
   Catalog* catalog_;
-  mutable std::shared_mutex mu_;
+  mutable util::SharedMutex mu_;
   // Keyed by IndexDef::Key().
-  std::unordered_map<std::string, std::unique_ptr<BuiltIndex>> indexes_;
-  std::vector<HypotheticalIndex> hypothetical_;
+  std::unordered_map<std::string, std::unique_ptr<BuiltIndex>> indexes_
+      GUARDED_BY(mu_);
+  std::vector<HypotheticalIndex> hypothetical_ GUARDED_BY(mu_);
 };
 
 }  // namespace autoindex

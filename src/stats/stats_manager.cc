@@ -19,7 +19,7 @@ void StatsManager::Analyze(const std::string& table) {
         std::make_shared<const ColumnStats>(ColumnStats::Build(*t, i));
   }
   guard.Release();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   cache_[ToLower(table)] = std::move(built);
 }
 
@@ -28,7 +28,7 @@ void StatsManager::AnalyzeAll() {
 }
 
 void StatsManager::Invalidate(const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   cache_.erase(ToLower(table));
 }
 
@@ -36,7 +36,7 @@ std::shared_ptr<const ColumnStats> StatsManager::GetColumnStats(
     const std::string& table, const std::string& column) {
   const std::string tkey = ToLower(table);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = cache_.find(tkey);
     if (it != cache_.end()) {
       auto cit = it->second.find(ToLower(column));
@@ -44,7 +44,7 @@ std::shared_ptr<const ColumnStats> StatsManager::GetColumnStats(
     }
   }
   Analyze(table);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = cache_.find(tkey);
   if (it == cache_.end()) return nullptr;
   auto cit = it->second.find(ToLower(column));

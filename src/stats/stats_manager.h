@@ -1,7 +1,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +9,7 @@
 #include "stats/column_stats.h"
 #include "storage/catalog.h"
 #include "storage/latch_manager.h"
+#include "util/mutex.h"
 
 namespace autoindex {
 
@@ -36,16 +36,16 @@ class StatsManager {
   void set_latch_manager(LatchManager* latches) { latches_ = latches; }
 
   // (Re)builds statistics for one table.
-  void Analyze(const std::string& table);
+  void Analyze(const std::string& table) EXCLUDES(mu_);
   // (Re)builds statistics for every table in the catalog.
-  void AnalyzeAll();
-  void Invalidate(const std::string& table);
+  void AnalyzeAll() EXCLUDES(mu_);
+  void Invalidate(const std::string& table) EXCLUDES(mu_);
 
   // Stats for a column; builds them lazily on first access. Returns
   // nullptr when the table/column does not exist. The snapshot stays
   // valid (immutable) even if the table is re-analyzed concurrently.
   std::shared_ptr<const ColumnStats> GetColumnStats(
-      const std::string& table, const std::string& column);
+      const std::string& table, const std::string& column) EXCLUDES(mu_);
 
   // Estimated fraction of `table` rows satisfying the boolean expression.
   // ANDs multiply (independence), ORs combine via inclusion-exclusion,
@@ -61,18 +61,18 @@ class StatsManager {
   // Snapshot serialization (src/persist/): saves/restores the cached stats
   // verbatim (tables and columns in sorted order, so the bytes are
   // deterministic). Load replaces the whole cache.
-  void Save(persist::Writer* w) const;
-  void Load(persist::Reader* r);
+  void Save(persist::Writer* w) const EXCLUDES(mu_);
+  void Load(persist::Reader* r) EXCLUDES(mu_);
 
  private:
   Catalog* catalog_;
   LatchManager* latches_ = nullptr;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   // table -> column -> immutable stats snapshot
   std::unordered_map<
       std::string,
       std::unordered_map<std::string, std::shared_ptr<const ColumnStats>>>
-      cache_;
+      cache_ GUARDED_BY(mu_);
 };
 
 }  // namespace autoindex

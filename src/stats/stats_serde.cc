@@ -38,7 +38,7 @@ ColumnStats ColumnStats::Load(persist::Reader* r) {
 }
 
 void StatsManager::Save(persist::Writer* w) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   // std::map orders tables and columns, making snapshot bytes stable
   // regardless of hash-map iteration order.
   std::map<std::string, std::map<std::string, const ColumnStats*>> sorted;
@@ -59,7 +59,7 @@ void StatsManager::Save(persist::Writer* w) const {
 }
 
 void StatsManager::Load(persist::Reader* r) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   cache_.clear();
   const uint32_t ntables = r->GetU32();
   for (uint32_t i = 0; i < ntables && r->ok(); ++i) {

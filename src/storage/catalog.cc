@@ -1,7 +1,6 @@
 #include "storage/catalog.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "util/string_util.h"
 
@@ -10,7 +9,7 @@ namespace autoindex {
 StatusOr<HeapTable*> Catalog::CreateTable(const std::string& name,
                                           Schema schema) {
   const std::string key = ToLower(name);
-  std::unique_lock lock(mu_);
+  util::WriterLock lock(mu_);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table exists: " + key);
   }
@@ -21,7 +20,7 @@ StatusOr<HeapTable*> Catalog::CreateTable(const std::string& name,
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  std::unique_lock lock(mu_);
+  util::WriterLock lock(mu_);
   if (tables_.erase(ToLower(name)) == 0) {
     return Status::NotFound("no such table: " + name);
   }
@@ -29,19 +28,19 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 HeapTable* Catalog::GetTable(const std::string& name) {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   auto it = tables_.find(ToLower(name));
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 const HeapTable* Catalog::GetTable(const std::string& name) const {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   auto it = tables_.find(ToLower(name));
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);
@@ -50,12 +49,12 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 size_t Catalog::num_tables() const {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   return tables_.size();
 }
 
 size_t Catalog::TotalHeapBytes() const {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   size_t total = 0;
   for (const auto& [_, table] : tables_) total += table->SizeBytes();
   return total;

@@ -1,12 +1,12 @@
 #pragma once
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/table.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace autoindex {
@@ -25,24 +25,26 @@ class Catalog {
   Catalog& operator=(const Catalog&) = delete;
 
   // Creates an empty table; fails if the name is taken.
-  StatusOr<HeapTable*> CreateTable(const std::string& name, Schema schema);
+  StatusOr<HeapTable*> CreateTable(const std::string& name, Schema schema)
+      EXCLUDES(mu_);
 
-  Status DropTable(const std::string& name);
+  Status DropTable(const std::string& name) EXCLUDES(mu_);
 
   // nullptr when absent.
-  HeapTable* GetTable(const std::string& name);
-  const HeapTable* GetTable(const std::string& name) const;
+  HeapTable* GetTable(const std::string& name) EXCLUDES(mu_);
+  const HeapTable* GetTable(const std::string& name) const EXCLUDES(mu_);
 
-  std::vector<std::string> TableNames() const;
+  std::vector<std::string> TableNames() const EXCLUDES(mu_);
 
-  size_t num_tables() const;
+  size_t num_tables() const EXCLUDES(mu_);
 
   // Sum of heap bytes across all tables (excludes indexes).
-  size_t TotalHeapBytes() const;
+  size_t TotalHeapBytes() const EXCLUDES(mu_);
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<HeapTable>> tables_;
+  mutable util::SharedMutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<HeapTable>> tables_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace autoindex

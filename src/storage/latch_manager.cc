@@ -17,7 +17,7 @@ void LatchManager::Guard::Release() {
   const std::thread::id tid = std::this_thread::get_id();
   bool wake = false;
   {
-    std::lock_guard<std::mutex> lock(manager_->mu_);
+    util::MutexLock lock(manager_->mu_);
     wake = manager_->waiters_ > 0;
     auto thread_it = manager_->held_by_thread_.find(tid);
     // Reverse acquisition order, mirroring classic lock discipline.
@@ -48,7 +48,7 @@ void LatchManager::Guard::Release() {
       manager_->held_by_thread_.erase(thread_it);
     }
   }
-  if (wake) manager_->cv_.notify_all();
+  if (wake) manager_->cv_.NotifyAll();
   manager_ = nullptr;
   held_.clear();
 }
@@ -61,6 +61,12 @@ const LatchManager::LatchMode* LatchManager::HeldModeLocked(
     if (name == key) return &mode;
   }
   return nullptr;
+}
+
+bool LatchManager::SharedAdmissibleLocked(const std::string& key) const {
+  auto it = latches_.find(key);
+  return it == latches_.end() ||
+         (!it->second.writer && it->second.waiting_writers == 0);
 }
 
 LatchManager::Guard LatchManager::Acquire(
@@ -82,7 +88,7 @@ LatchManager::Guard LatchManager::Acquire(
 
   const std::thread::id tid = std::this_thread::get_id();
   std::vector<std::pair<std::string, LatchMode>> acquired;
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const LatchRequest& r : wanted) {
     if (const LatchMode* held = HeldModeLocked(tid, r.table)) {
       if (r.mode == LatchMode::kExclusive && *held == LatchMode::kShared) {
@@ -97,11 +103,15 @@ LatchManager::Guard LatchManager::Acquire(
     }
     if (r.mode == LatchMode::kExclusive) {
       LatchInfo& info = latches_[r.table];
-      const auto free = [&] { return info.readers == 0 && !info.writer; };
-      if (!free()) {
+      if (info.readers != 0 || info.writer) {
+        // The map entry stays pinned while waiting_writers > 0 (Release
+        // only erases latches nobody holds or waits on), so `info` stays
+        // a valid reference across the waits.
         ++info.waiting_writers;
         ++waiters_;
-        cv_.wait(lock, free);
+        do {
+          cv_.Wait(mu_);
+        } while (info.readers != 0 || info.writer);
         --waiters_;
         --info.waiting_writers;
       }
@@ -109,14 +119,11 @@ LatchManager::Guard LatchManager::Acquire(
     } else {
       // Writer preference: a new reader also waits for queued writers so
       // a steady reader stream cannot starve index builds / updates.
-      const auto admissible = [&] {
-        auto it = latches_.find(r.table);
-        return it == latches_.end() ||
-               (!it->second.writer && it->second.waiting_writers == 0);
-      };
-      if (!admissible()) {
+      if (!SharedAdmissibleLocked(r.table)) {
         ++waiters_;
-        cv_.wait(lock, admissible);
+        do {
+          cv_.Wait(mu_);
+        } while (!SharedAdmissibleLocked(r.table));
         --waiters_;
       }
       ++latches_[r.table].readers;
@@ -144,7 +151,7 @@ LatchManager::Guard LatchManager::AcquireExclusive(const std::string& table) {
 
 LatchManager::DebugSnapshot LatchManager::Snapshot() const {
   DebugSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   snap.latches.reserve(latches_.size());
   for (const auto& [table, info] : latches_) {
     snap.latches.push_back(
@@ -159,12 +166,12 @@ LatchManager::DebugSnapshot LatchManager::Snapshot() const {
 }
 
 size_t LatchManager::total_acquisitions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return total_acquisitions_;
 }
 
 void LatchManager::TestOnlyAddPhantomReader(const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++latches_[ToLower(table)].readers;
 }
 

@@ -1,12 +1,12 @@
 #pragma once
 
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace autoindex {
 
@@ -94,11 +94,11 @@ class LatchManager {
   // order, blocking as needed. Duplicate tables are coalesced to their
   // strongest requested mode. Tables the calling thread already holds (at
   // a sufficient mode) are skipped.
-  Guard Acquire(std::vector<LatchRequest> requests);
+  Guard Acquire(std::vector<LatchRequest> requests) EXCLUDES(mu_);
 
   // Conveniences for the two statement shapes.
-  Guard AcquireShared(const std::vector<std::string>& tables);
-  Guard AcquireExclusive(const std::string& table);
+  Guard AcquireShared(const std::vector<std::string>& tables) EXCLUDES(mu_);
+  Guard AcquireExclusive(const std::string& table) EXCLUDES(mu_);
 
   // --- Introspection (LatchValidator / diagnostics) -------------------
   struct TableLatchState {
@@ -117,16 +117,16 @@ class LatchManager {
   };
   // One consistent snapshot of every latch's state and every thread's
   // held list (both taken under the same internal lock).
-  DebugSnapshot Snapshot() const;
+  DebugSnapshot Snapshot() const EXCLUDES(mu_);
 
   // Lifetime count of granted (non-nested) acquisitions.
-  size_t total_acquisitions() const;
+  size_t total_acquisitions() const EXCLUDES(mu_);
 
   // --- Test-only corruption hook (see src/check/) ---------------------
   // Bumps a latch's reader count without any thread recording the hold,
   // so the LatchValidator's cross-check must fire. Never call outside
   // tests.
-  void TestOnlyAddPhantomReader(const std::string& table);
+  void TestOnlyAddPhantomReader(const std::string& table) EXCLUDES(mu_);
 
  private:
   struct LatchInfo {
@@ -137,21 +137,26 @@ class LatchManager {
 
   // Mode the calling thread already holds on `key` (nullptr = not held).
   const LatchMode* HeldModeLocked(std::thread::id tid,
-                                  const std::string& key) const;
+                                  const std::string& key) const
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<std::string, LatchInfo> latches_;
+  // Whether a new shared acquisition of `key` may proceed (no writer holds
+  // it and none is queued — writer preference).
+  bool SharedAdmissibleLocked(const std::string& key) const REQUIRES(mu_);
+
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  std::unordered_map<std::string, LatchInfo> latches_ GUARDED_BY(mu_);
   // Per-thread held latches in acquisition order; entries removed on
   // release, thread entries erased when empty.
   std::unordered_map<std::thread::id,
                      std::vector<std::pair<std::string, LatchMode>>>
-      held_by_thread_;
-  size_t total_acquisitions_ = 0;
+      held_by_thread_ GUARDED_BY(mu_);
+  size_t total_acquisitions_ GUARDED_BY(mu_) = 0;
   // Threads currently blocked in cv_.wait. Release skips the notify when
   // nobody is parked — the overwhelmingly common case on uncontended
   // single-thread paths, where the syscall would be pure overhead.
-  size_t waiters_ = 0;
+  size_t waiters_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace autoindex

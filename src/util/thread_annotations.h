@@ -1,0 +1,76 @@
+#pragma once
+
+// Clang thread-safety-analysis attribute macros (DESIGN.md §9).
+//
+// These make the locking protocol part of the type system: fields carry
+// GUARDED_BY(mu), helpers that expect the caller to hold a lock carry
+// REQUIRES(mu), and the annotated primitives in util/mutex.h declare the
+// capabilities themselves. Under clang with -Wthread-safety (CMake option
+// AUTOINDEX_THREAD_SAFETY, wired into scripts/check.sh) every code path —
+// exercised by a test or not — is checked at compile time; under other
+// compilers the macros expand to nothing and the wrappers are plain
+// std::mutex / std::shared_mutex RAII.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && !defined(SWIG)
+#define AUTOINDEX_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define AUTOINDEX_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// Declares a class to be a capability (a lock the analysis can track).
+#define CAPABILITY(x) AUTOINDEX_THREAD_ANNOTATION(capability(x))
+
+// Declares an RAII class whose lifetime holds a capability.
+#define SCOPED_CAPABILITY AUTOINDEX_THREAD_ANNOTATION(scoped_lockable)
+
+// Field may only be read/written while holding the given capability.
+#define GUARDED_BY(x) AUTOINDEX_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer field: the pointed-to data is protected by the capability
+// (the pointer itself is not).
+#define PT_GUARDED_BY(x) AUTOINDEX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function requires the capability held exclusively / shared on entry.
+#define REQUIRES(...) \
+  AUTOINDEX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  AUTOINDEX_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires/releases the capability (lock/unlock members and
+// scoped-guard constructors/destructors).
+#define ACQUIRE(...) \
+  AUTOINDEX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  AUTOINDEX_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  AUTOINDEX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  AUTOINDEX_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  AUTOINDEX_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+// Function tries to acquire and reports success via its return value.
+#define TRY_ACQUIRE(...) \
+  AUTOINDEX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  AUTOINDEX_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (non-reentrant helpers that take
+// the lock themselves; documents and checks lock-ordering contracts).
+#define EXCLUDES(...) AUTOINDEX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Asserts (at runtime, from the analysis' point of view) that the
+// capability is held — for code reachable only under a lock the analysis
+// cannot see.
+#define ASSERT_CAPABILITY(x) \
+  AUTOINDEX_THREAD_ANNOTATION(assert_capability(x))
+
+// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) AUTOINDEX_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: disables analysis on one function. Every use must carry a
+// comment justifying why the protocol holds anyway (DESIGN.md §9).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  AUTOINDEX_THREAD_ANNOTATION(no_thread_safety_analysis)

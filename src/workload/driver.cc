@@ -1,13 +1,12 @@
 #include "workload/driver.h"
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "engine/session.h"
+#include "util/mutex.h"
 
 namespace autoindex {
 namespace {
@@ -17,37 +16,37 @@ namespace {
 // cannot outgrow the trace.
 class ObservationQueue {
  public:
-  void Push(const std::string& sql) {
+  void Push(const std::string& sql) EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       items_.push_back(sql);
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   // Blocks until an item arrives or the queue is closed AND empty.
-  bool Pop(std::string* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+  bool Pop(std::string* out) EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    while (items_.empty() && !closed_) cv_.Wait(mu_);
     if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
     return true;
   }
 
-  void Close() {
+  void Close() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::string> items_;
-  bool closed_ = false;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<std::string> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 double ElapsedMs(std::chrono::steady_clock::time_point start) {

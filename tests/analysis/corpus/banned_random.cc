@@ -1,0 +1,18 @@
+// banned-random fixture: libc randomness and wall-clock seeding.
+
+namespace corpus {
+
+int WeakShuffle() {
+  return rand() % 6;  // lint:expect(banned-random)
+}
+
+void SeedFromClock() {
+  srand(static_cast<unsigned>(time(nullptr)));  // lint:expect(banned-random)
+}
+
+// Longer identifiers that merely end in a banned name must not fire,
+// and neither must member calls spelled obj.time(...).
+int mytime(int zone) { return zone; }
+int Runtime() { return mytime(0); }
+
+}  // namespace corpus

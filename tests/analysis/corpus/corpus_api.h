@@ -1,0 +1,14 @@
+#pragma once
+
+// Self-contained stand-in API for the status-ignored fixtures: the rule
+// harvests Status-returning names from scanned headers, so the corpus
+// brings its own declarations and never depends on the real src/ API.
+
+namespace corpus {
+
+struct Status {};
+
+Status DoWork();
+Status Flush(int fd);
+
+}  // namespace corpus

@@ -1,0 +1,16 @@
+#pragma once
+
+// include-cycle fixture, half 1: includes cycle_b.h, which includes
+// this header back. The finding anchors at the #include that closes
+// the cycle during the (deterministic, sorted-order) DFS — the one in
+// cycle_b.h.
+
+#include "cycle_b.h"
+
+namespace corpus {
+
+struct A {
+  int tag = 1;
+};
+
+}  // namespace corpus

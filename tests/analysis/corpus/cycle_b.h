@@ -1,0 +1,13 @@
+#pragma once
+
+// include-cycle fixture, half 2: see cycle_a.h.
+
+#include "cycle_a.h"  // lint:expect(include-cycle)
+
+namespace corpus {
+
+struct B {
+  int tag = 2;
+};
+
+}  // namespace corpus

@@ -1,0 +1,23 @@
+// detached-thread fixture: detach() severs the join that shutdown
+// ordering depends on.
+
+#include <thread>
+
+namespace corpus {
+
+void FireAndForget() {
+  std::thread worker([] {});
+  worker.detach();  // lint:expect(detached-thread)
+}
+
+void FireAndForgetPointer(std::thread* worker) {
+  worker->detach();  // lint:expect(detached-thread)
+}
+
+// A joined thread is the sanctioned shape.
+void FireAndJoin() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace corpus

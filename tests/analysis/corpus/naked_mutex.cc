@@ -1,0 +1,18 @@
+// naked-mutex fixture: raw std synchronization primitives that Clang
+// thread-safety analysis cannot see.
+
+#include <mutex>
+
+namespace corpus {
+
+struct Counter {
+  std::mutex mu;  // lint:expect(naked-mutex)
+  int value = 0;
+
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu);  // lint:expect(naked-mutex)
+    ++value;
+  }
+};
+
+}  // namespace corpus

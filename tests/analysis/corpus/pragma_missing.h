@@ -1,0 +1,10 @@
+// lint:expect(pragma-once)
+// A header missing its include-once pragma: the finding anchors at
+// line 1. (The pragma must not be spelled out even in a comment here —
+// the rule is a whole-file substring check.)
+
+namespace corpus {
+
+inline int Identity(int x) { return x; }
+
+}  // namespace corpus

@@ -1,0 +1,17 @@
+// raw-file-io fixture: unchecked stream IO outside src/persist/.
+
+#include <fstream>
+
+namespace corpus {
+
+void DumpUnchecked(const char* path) {
+  std::ofstream out(path);  // lint:expect(raw-file-io)
+  out << "no checksum, no atomic rename";
+}
+
+bool SlurpUnchecked(const char* path) {
+  std::ifstream in(path);  // lint:expect(raw-file-io)
+  return in.good();
+}
+
+}  // namespace corpus

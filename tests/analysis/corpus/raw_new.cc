@@ -1,0 +1,21 @@
+// raw-new-delete fixture: both directions of manual ownership.
+
+namespace corpus {
+
+struct Widget {
+  int value = 0;
+};
+
+Widget* MakeWidget() {
+  return new Widget();  // lint:expect(raw-new-delete)
+}
+
+void DestroyWidget(Widget* w) {
+  delete w;  // lint:expect(raw-new-delete)
+}
+
+// Prose mentioning new Widget() in a comment must not fire, nor must a
+// string literal: the code view blanks both.
+const char* kDoc = "allocate with new Widget()";
+
+}  // namespace corpus

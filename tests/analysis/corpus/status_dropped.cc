@@ -1,0 +1,19 @@
+// status-ignored fixture: a bare-statement call to a Status-returning
+// function (declared in corpus_api.h) drops the error.
+
+#include "corpus_api.h"
+
+namespace corpus {
+
+void Careless() {
+  DoWork();  // lint:expect(status-ignored)
+}
+
+Status Careful() {
+  // Consumed forms never fire: returned, assigned, or (void)-discarded.
+  (void)Flush(3);
+  Status s = DoWork();
+  return s;
+}
+
+}  // namespace corpus

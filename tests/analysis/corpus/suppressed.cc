@@ -1,0 +1,29 @@
+// Suppression fixture: every would-be finding here carries a matching
+// `lint:allow(<rule>)` marker, so the file must come out clean. A
+// marker for the wrong rule does NOT suppress (the last function).
+
+#include "corpus_api.h"
+
+namespace corpus {
+
+struct Widget {
+  int value = 0;
+};
+
+Widget* LegacyFactory() {
+  return new Widget();  // lint:allow(raw-new-delete)
+}
+
+void LegacyFree(Widget* w) {
+  delete w;  // lint:allow(raw-new-delete)
+}
+
+void DeliberatelyLossy() {
+  DoWork();  // lint:allow(status-ignored)
+}
+
+void WrongMarkerDoesNotSuppress() {
+  DoWork();  // lint:allow(raw-new-delete) lint:expect(status-ignored)
+}
+
+}  // namespace corpus

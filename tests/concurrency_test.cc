@@ -1,21 +1,28 @@
 // Concurrency layer: LatchManager semantics, the LatchValidator audit,
 // session isolation, a readers+writers+tuning stress run (the test the
-// TSan stage of scripts/check.sh gates on), and regression tests for the
-// single-thread bugs this PR fixed (LIMIT draining its child, the stale
-// benefit-estimator cost memo, SUM/AVG over strings).
+// TSan stage of scripts/check.sh gates on), regression tests for
+// single-thread bugs (LIMIT draining its child, the stale
+// benefit-estimator cost memo, SUM/AVG over strings), and TSan-gated
+// regressions for the lock-discipline violations the thread-safety
+// annotation sweep surfaced (unguarded estimator model, MCTS budget knob,
+// durability-log pointer).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "check/latch_validator.h"
 #include "check/validator.h"
+#include "core/benefit_estimator.h"
 #include "core/manager.h"
+#include "core/mcts.h"
 #include "engine/database.h"
+#include "engine/durability.h"
 #include "engine/session.h"
 #include "storage/latch_manager.h"
 
@@ -312,6 +319,151 @@ TEST_F(ConcurrencyDbTest, EstimatorCacheInvalidatesOnDataChange) {
   // The epoch guard must recompute against the larger table — a stale
   // memo would return `before` verbatim.
   EXPECT_GT(after, before);
+}
+
+// --- Regression: the learned model is guarded (obs_mu_) -------------------
+
+// Before the annotation sweep, TrainModel wrote model_ while concurrent
+// EstimateStatementCost / model_trained() calls read it with no lock — a
+// data race TSan flags on the SigmoidRegression weights vector. The model
+// now lives under obs_mu_ (trained on a copy, swapped in under the lock).
+TEST_F(ConcurrencyDbTest, EstimatorModelTrainRacesWithEstimates) {
+  IndexBenefitEstimator estimator(&db_);
+  StatusOr<Statement> stmt = ParseSql("SELECT a FROM t WHERE b = 3");
+  ASSERT_TRUE(stmt.ok());
+  const std::vector<double> features =
+      db_.WhatIfCost(*stmt, IndexConfig()).Features();
+
+  std::atomic<bool> stop{false};
+  std::thread trainer([&] {
+    int round = 0;
+    while (!stop.load()) {
+      for (int i = 0; i < 8; ++i) {
+        estimator.AddObservation(features, 50.0 + (round + i) % 17);
+      }
+      estimator.TrainModel(/*min_observations=*/8);
+      ++round;
+    }
+  });
+  bool saw_trained = false;
+  for (int i = 0; i < 300; ++i) {
+    const double cost = estimator.EstimateStatementCost(*stmt, IndexConfig());
+    EXPECT_TRUE(std::isfinite(cost));
+    saw_trained |= estimator.model_trained();
+  }
+  stop.store(true);
+  trainer.join();
+  // The trainer ran at least once by the end (8 observations per round).
+  EXPECT_TRUE(estimator.model_trained() || !saw_trained);
+}
+
+// --- Regression: the MCTS budget knob is guarded (tree_mu_) ---------------
+
+// set_storage_budget used to write config_.storage_budget_bytes with no
+// lock while Run read it through WithinBudget on the tuning thread. Both
+// sides now go through tree_mu_ (and config() returns a copy taken under
+// the lock).
+TEST_F(ConcurrencyDbTest, MctsBudgetMovesDuringRun) {
+  AutoIndexManager manager(&db_);
+  for (int i = 0; i < 4; ++i) {
+    manager.ObserveOnly("SELECT a FROM t WHERE b = 3");
+  }
+  const WorkloadModel w = manager.CurrentWorkload();
+  ASSERT_FALSE(w.entries.empty());
+
+  IndexBenefitEstimator estimator(&db_);
+  MctsConfig config;
+  config.iterations = 40;
+  MctsIndexSelector selector(&db_, &estimator, config);
+
+  std::atomic<bool> stop{false};
+  std::thread knob([&] {
+    size_t budget = 0;
+    while (!stop.load()) {
+      selector.set_storage_budget(budget);
+      budget = budget == 0 ? (size_t{1} << 20) : 0;
+      EXPECT_GE(selector.config().iterations, 1u);
+    }
+  });
+  for (int round = 0; round < 5; ++round) {
+    const MctsResult result = selector.Run(
+        IndexConfig(), {IndexDef("t", {"a"}), IndexDef("t", {"b"})}, w);
+    EXPECT_GE(result.iterations_run, 1u);
+    const Status tree_ok = selector.ValidateTree();
+    EXPECT_TRUE(tree_ok.ok()) << tree_ok.ToString();
+  }
+  stop.store(true);
+  knob.join();
+}
+
+// --- Regression: the durability-log pointer is guarded (wal_mu_) ----------
+
+namespace {
+class CountingLog : public DurabilityLog {
+ public:
+  Status AppendStatement(const Statement&, uint64_t) override {
+    return Count();
+  }
+  Status AppendCreateTable(const std::string&, const Schema&,
+                           uint64_t) override {
+    return Count();
+  }
+  Status AppendCreateIndex(const IndexDef&, uint64_t) override {
+    return Count();
+  }
+  Status AppendDropIndex(const std::string&, uint64_t) override {
+    return Count();
+  }
+  Status AppendBulkInsert(const std::string&, const std::vector<Row>&,
+                          uint64_t) override {
+    return Count();
+  }
+  Status AppendAnalyze(const std::string&, uint64_t) override {
+    return Count();
+  }
+  Status OnCheckpoint(uint64_t) override { return Status::Ok(); }
+
+  size_t appends() const { return appends_.load(); }
+
+ private:
+  Status Count() {
+    appends_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  std::atomic<size_t> appends_{0};
+};
+}  // namespace
+
+// BulkInsert and the CommitDurable path used to read durability_log_
+// outside wal_mu_, racing with set_durability_log. The pointer is guarded
+// now, so attaching/detaching a log while writers commit is race-free
+// (every statement sees either the old or the new log).
+TEST_F(ConcurrencyDbTest, DurabilityLogAttachRacesWithWrites) {
+  CountingLog log;
+  std::atomic<bool> stop{false};
+  std::thread writer([this, &stop] {
+    std::unique_ptr<Session> session = db_.CreateSession();
+    int id = 40000;
+    while (!stop.load()) {
+      const std::string sql =
+          "INSERT INTO t VALUES (" + std::to_string(id++) + ", 1, 'd')";
+      EXPECT_TRUE(session->Execute(sql).ok());
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    db_.set_durability_log(&log);
+    EXPECT_EQ(db_.durability_log(), &log);
+    std::vector<Row> batch;
+    batch.push_back({Value(int64_t(90000 + i)), Value(int64_t(2)),
+                     Value("bulk")});
+    EXPECT_TRUE(db_.BulkInsert("t", std::move(batch)).ok());
+    db_.set_durability_log(nullptr);
+  }
+  stop.store(true);
+  writer.join();
+  // Every bulk batch committed while the log was attached was appended.
+  EXPECT_GE(log.appends(), 200u);
+  EXPECT_TRUE(db_.latches().Snapshot().latches.empty());
 }
 
 // --- Regression: SUM/AVG over string columns are NULL --------------------
