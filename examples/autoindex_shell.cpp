@@ -70,13 +70,17 @@ void PrintRows(const ExecResult& result, size_t cap = 20) {
 }
 
 void PrintIndexes(const Database& db) {
-  if (db.index_manager().AllIndexes().empty()) {
+  // AnyState: in-flight builds show up as "building" while ready indexes
+  // (the planner's view) report "ready".
+  const auto all = db.index_manager().AllIndexesAnyState();
+  if (all.empty()) {
     std::printf("(no indexes)\n");
     return;
   }
-  for (const BuiltIndex* index : db.index_manager().AllIndexes()) {
-    std::printf("  %-40s %8.2f MiB  entries=%zu height=%zu uses=%zu\n",
+  for (const BuiltIndex* index : all) {
+    std::printf("  %-40s %-8s %8.2f MiB  entries=%zu height=%zu uses=%zu\n",
                 index->def().DisplayName().c_str(),
+                IndexStateName(index->state()),
                 index->SizeBytes() / 1048576.0, index->num_entries(),
                 index->height(), index->uses());
   }
@@ -192,6 +196,10 @@ int main() {
         }
         for (const IndexDef& d : r.removed) {
           std::printf("  - %s\n", d.DisplayName().c_str());
+        }
+        for (const ApplyError& e : r.apply_errors) {
+          std::printf("  ! %s %s failed: %s\n", e.drop ? "drop" : "create",
+                      e.def.DisplayName().c_str(), e.message.c_str());
         }
       } else if (cmd == "save") {
         std::string dir;

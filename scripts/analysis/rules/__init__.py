@@ -3,6 +3,7 @@ with the framework registry (each module uses @framework.register)."""
 
 from . import banned_random     # noqa: F401
 from . import detached_thread   # noqa: F401
+from . import direct_index_build  # noqa: F401
 from . import include_cycle     # noqa: F401
 from . import naked_mutex       # noqa: F401
 from . import pragma_once       # noqa: F401

@@ -72,6 +72,9 @@ cmake --build build-werror -j "${JOBS}"
 step "tier-1 tests (plain build)"
 ctest --test-dir build-werror -L tier1 --output-on-failure
 
+step "index lifecycle tests (plain build)"
+ctest --test-dir build-werror -L lifecycle --output-on-failure
+
 step "bench smoke (micro benchmarks, short deterministic mode)"
 ctest --test-dir build-werror -L bench-smoke --output-on-failure
 
@@ -108,8 +111,9 @@ cmake -B build-tsan -S . \
   -DAUTOINDEX_SANITIZE=thread -DAUTOINDEX_WERROR=ON >/dev/null
 cmake --build build-tsan -j "${JOBS}"
 
-step "tier-1 + concurrency tests under TSan"
+step "tier-1 + concurrency + lifecycle tests under TSan"
 TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
-  ctest --test-dir build-tsan -L 'tier1|concurrency' --output-on-failure
+  ctest --test-dir build-tsan -L 'tier1|concurrency|lifecycle' \
+  --output-on-failure
 
 step "OK"

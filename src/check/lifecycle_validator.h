@@ -1,0 +1,20 @@
+#pragma once
+
+#include "check/validator.h"
+
+namespace autoindex {
+
+// Validates the online index lifecycle (DESIGN.md §10): every
+// planner-reachable index really is kReady and matches a from-scratch
+// rebuild entry-for-entry (the end-to-end guarantee of the phased build:
+// snapshot scan + delta catch-up + publish drain lost nothing), while
+// in-flight builds stay planner-invisible, reference live schema, and
+// never hold more entries than the heap has slots. A kDropping index
+// observable anywhere is a leak — drops unlink atomically.
+class LifecycleValidator : public Validator {
+ public:
+  const char* name() const override { return "lifecycle"; }
+  void Validate(const CheckContext& ctx, CheckReport* report) const override;
+};
+
+}  // namespace autoindex

@@ -4,6 +4,7 @@
 #include "check/catalog_validator.h"
 #include "check/heap_validator.h"
 #include "check/latch_validator.h"
+#include "check/lifecycle_validator.h"
 #include "check/mcts_validator.h"
 #include "check/plan_validator.h"
 #include "engine/database.h"
@@ -38,6 +39,7 @@ ValidatorRegistry& ValidatorRegistry::Default() {
     registry.Register(std::make_unique<MctsPolicyTreeValidator>());
     registry.Register(std::make_unique<PhysicalPlanValidator>());
     registry.Register(std::make_unique<LatchValidator>());
+    registry.Register(std::make_unique<LifecycleValidator>());
     return true;
   }();
   (void)populated;

@@ -29,6 +29,98 @@ AutoIndexManager::AutoIndexManager(Database* db, AutoIndexConfig config)
   }
 }
 
+AutoIndexManager::~AutoIndexManager() { ShutdownApplyWorker(); }
+
+AutoIndexManager::DdlOutcome AutoIndexManager::ApplyDdlNow(
+    const std::vector<IndexDef>& drops, const std::vector<IndexDef>& adds) {
+  DdlOutcome outcome;
+  // Keep the reported deltas honest: if the estate drifted under us (say,
+  // a manual DROP between search and apply), the failed DDL must not show
+  // up in dropped/built as if it happened — it lands in errors instead.
+  for (const IndexDef& def : drops) {
+    const Status s = db_->DropIndex(def.Key());
+    if (s.ok()) {
+      outcome.dropped.push_back(def);
+    } else {
+      outcome.errors.push_back(ApplyError{def, true, s.message()});
+    }
+  }
+  for (const IndexDef& def : adds) {
+    const Status s = db_->CreateIndex(def);
+    if (s.ok()) {
+      outcome.built.push_back(def);
+    } else {
+      outcome.errors.push_back(ApplyError{def, false, s.message()});
+    }
+  }
+  // Usage counters are per-round signals; reset after inspection.
+  for (BuiltIndex* index : db_->index_manager().AllIndexes()) {
+    index->ResetUses();
+  }
+  estimator_->InvalidateCache();
+  return outcome;
+}
+
+void AutoIndexManager::EnqueueApply(ApplyTask task) {
+  {
+    util::MutexLock lock(apply_mu_);
+    apply_queue_.push_back(std::move(task));
+    if (!apply_worker_started_) {
+      apply_worker_ = std::thread([this] { ApplyWorkerLoop(); });
+      apply_worker_started_ = true;
+    }
+  }
+  apply_cv_.NotifyAll();
+}
+
+void AutoIndexManager::ApplyWorkerLoop() {
+  for (;;) {
+    ApplyTask task;
+    {
+      util::MutexLock lock(apply_mu_);
+      while (apply_queue_.empty() && !apply_shutdown_) {
+        apply_cv_.Wait(apply_mu_);
+      }
+      if (apply_queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(apply_queue_.front());
+      apply_queue_.pop_front();
+      apply_inflight_ = true;
+    }
+    DdlOutcome outcome = ApplyDdlNow(task.drops, task.adds);
+    {
+      util::MutexLock lock(apply_mu_);
+      for (ApplyError& error : outcome.errors) {
+        apply_errors_.push_back(std::move(error));
+      }
+      apply_inflight_ = false;
+    }
+    apply_cv_.NotifyAll();
+  }
+}
+
+std::vector<ApplyError> AutoIndexManager::WaitForApply() {
+  util::MutexLock lock(apply_mu_);
+  while (!apply_queue_.empty() || apply_inflight_) {
+    apply_cv_.Wait(apply_mu_);
+  }
+  std::vector<ApplyError> errors = std::move(apply_errors_);
+  apply_errors_.clear();
+  return errors;
+}
+
+void AutoIndexManager::ShutdownApplyWorker() {
+  {
+    util::MutexLock lock(apply_mu_);
+    if (!apply_worker_started_) return;
+    apply_shutdown_ = true;
+  }
+  apply_cv_.NotifyAll();
+  apply_worker_.join();
+  util::MutexLock lock(apply_mu_);
+  apply_worker_started_ = false;
+  apply_shutdown_ = false;
+}
+
 void AutoIndexManager::set_storage_budget(size_t bytes) {
   config_.storage_budget_bytes = bytes;
   selector_->set_storage_budget(bytes);
@@ -142,27 +234,19 @@ TuningResult AutoIndexManager::RunManagementRound(bool apply) {
   }
 
   if (apply) {
-    // Keep the reported deltas honest: if the estate drifted under us
-    // (say, a manual DROP between search and apply), the failed DDL must
-    // not show up in added/removed as if it happened.
-    std::vector<IndexDef> dropped;
-    for (const IndexDef& def : result.removed) {
-      const Status drop_status = db_->DropIndex(def.Key());
-      if (drop_status.ok()) dropped.push_back(def);
+    if (config_.async_apply) {
+      // Stage and return: the background worker publishes the DDL while
+      // the workload keeps running. added/removed keep reporting the
+      // recommendation; failures surface from WaitForApply().
+      EnqueueApply(ApplyTask{result.removed, result.added});
+      result.staged = true;
+    } else {
+      DdlOutcome outcome = ApplyDdlNow(result.removed, result.added);
+      result.removed = std::move(outcome.dropped);
+      result.added = std::move(outcome.built);
+      result.apply_errors = std::move(outcome.errors);
+      result.applied = true;
     }
-    result.removed = std::move(dropped);
-    std::vector<IndexDef> built;
-    for (const IndexDef& def : result.added) {
-      const Status create_status = db_->CreateIndex(def);
-      if (create_status.ok()) built.push_back(def);
-    }
-    result.added = std::move(built);
-    // Usage counters are per-round signals; reset after inspection.
-    for (BuiltIndex* index : db_->index_manager().AllIndexes()) {
-      index->ResetUses();
-    }
-    result.applied = true;
-    estimator_->InvalidateCache();
   }
 
   ++rounds_run_;

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/benefit_estimator.h"
@@ -11,6 +13,7 @@
 #include "core/mcts.h"
 #include "core/query_template.h"
 #include "engine/database.h"
+#include "util/mutex.h"
 
 namespace autoindex {
 
@@ -44,6 +47,20 @@ struct AutoIndexConfig {
   // Sample rate for collecting training observations (the paper samples
   // 0.01% of a 2.2M-query workload; we default denser for small runs).
   double observation_sample_rate = 0.05;
+  // Apply recommended DDL on a background worker thread: the round stages
+  // its adds/drops onto the apply queue and returns immediately, so the
+  // tuning loop never blocks behind index builds. Join with WaitForApply()
+  // (which also returns any failures). Off by default: the synchronous
+  // path keeps single-threaded tests and examples deterministic.
+  bool async_apply = false;
+};
+
+// One failed create/drop from an apply pass (the Status the database
+// returned, kept per definition so callers can report precisely).
+struct ApplyError {
+  IndexDef def;
+  bool drop = false;  // true: DropIndex failed; false: CreateIndex failed
+  std::string message;
 };
 
 // The outcome of one management round (Sec. III workflow).
@@ -58,7 +75,14 @@ struct TuningResult {
   double elapsed_ms = 0.0;        // total index-management overhead
   double candidate_gen_ms = 0.0;  // template matching + candidate extraction
   double search_ms = 0.0;         // MCTS selection
+  // Synchronous apply ran: added/removed report what actually happened.
   bool applied = false;
+  // Async apply: the DDL was staged onto the background queue and
+  // added/removed report the *recommendation*; publication (and any
+  // failures) surface from WaitForApply().
+  bool staged = false;
+  // Per-definition failures from the synchronous apply path.
+  std::vector<ApplyError> apply_errors;
 };
 
 // AUTOINDEX: the end-to-end incremental index management system (Fig. 3).
@@ -68,6 +92,8 @@ struct TuningResult {
 class AutoIndexManager {
  public:
   AutoIndexManager(Database* db, AutoIndexConfig config = {});
+  // Drains and joins the background apply worker (staged DDL still lands).
+  ~AutoIndexManager();
 
   AutoIndexManager(const AutoIndexManager&) = delete;
   AutoIndexManager& operator=(const AutoIndexManager&) = delete;
@@ -85,7 +111,28 @@ class AutoIndexManager {
   // One full management round: template snapshot -> candidate generation
   // -> MCTS search -> apply adds/drops to the database.
   // `apply` = false computes the recommendation without touching indexes.
+  // With config().async_apply the DDL is staged onto the background apply
+  // queue instead of running inline (result.staged, see TuningResult).
   TuningResult RunManagementRound(bool apply = true);
+
+  // Outcome of one immediate apply pass.
+  struct DdlOutcome {
+    std::vector<IndexDef> dropped;  // drops that succeeded
+    std::vector<IndexDef> built;    // creates that succeeded
+    std::vector<ApplyError> errors;
+  };
+
+  // Applies drops then creates on the calling thread (each through the
+  // database's latched DDL path), resets per-round usage counters, and
+  // invalidates the estimator cache. Shared by the synchronous round path
+  // and the background worker; exposed so tests can drive it directly.
+  DdlOutcome ApplyDdlNow(const std::vector<IndexDef>& drops,
+                         const std::vector<IndexDef>& adds);
+
+  // Blocks until the background apply queue is empty and nothing is in
+  // flight, then returns (and clears) the failures accumulated since the
+  // last call. Immediate no-op when no DDL was ever staged.
+  std::vector<ApplyError> WaitForApply() EXCLUDES(apply_mu_);
 
   // The current workload model (templates weighted by frequency).
   WorkloadModel CurrentWorkload() const;
@@ -105,6 +152,18 @@ class AutoIndexManager {
   Status LoadTuningState(persist::Reader* r);
 
  private:
+  // One staged apply: drops run before adds, mirroring the sync path.
+  struct ApplyTask {
+    std::vector<IndexDef> drops;
+    std::vector<IndexDef> adds;
+  };
+
+  void EnqueueApply(ApplyTask task) EXCLUDES(apply_mu_);
+  // Background worker: pops tasks until shutdown, then drains the queue
+  // before exiting so staged DDL is never silently dropped.
+  void ApplyWorkerLoop() EXCLUDES(apply_mu_);
+  void ShutdownApplyWorker() EXCLUDES(apply_mu_);
+
   Database* db_;
   AutoIndexConfig config_;
   std::unique_ptr<TemplateStore> templates_;
@@ -114,6 +173,19 @@ class AutoIndexManager {
   std::unique_ptr<IndexDiagnoser> diagnoser_;
   Random sample_rng_;
   size_t rounds_run_ = 0;
+
+  // Async apply state. The worker thread is started lazily on the first
+  // staged task and joined (never detached) by ShutdownApplyWorker.
+  mutable util::Mutex apply_mu_;
+  util::CondVar apply_cv_;
+  std::deque<ApplyTask> apply_queue_ GUARDED_BY(apply_mu_);
+  std::vector<ApplyError> apply_errors_ GUARDED_BY(apply_mu_);
+  bool apply_inflight_ GUARDED_BY(apply_mu_) = false;
+  bool apply_shutdown_ GUARDED_BY(apply_mu_) = false;
+  bool apply_worker_started_ GUARDED_BY(apply_mu_) = false;
+  // Owned by the constructor/destructor thread; started under apply_mu_
+  // (apply_worker_started_ is the guarded truth about its liveness).
+  std::thread apply_worker_;
 };
 
 }  // namespace autoindex

@@ -1,5 +1,6 @@
 #include "engine/database.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "engine/durability.h"
@@ -35,6 +36,14 @@ std::vector<LatchManager::LatchRequest> StatementLatches(
   }
   return requests;
 }
+
+// Online build pacing (Database::CreateIndex). Chunk size bounds how long
+// one shared-latch hold keeps writers queued; the catch-up loop shrinks
+// the delta until the exclusive publish window only drains a short tail.
+constexpr size_t kBuildScanChunkSlots = 4096;
+constexpr size_t kBuildCatchupBatch = 1024;
+constexpr size_t kBuildPublishThreshold = 256;
+constexpr size_t kBuildFreeCatchupRounds = 64;
 
 }  // namespace
 
@@ -100,6 +109,84 @@ StatusOr<HeapTable*> Database::CreateTable(const std::string& name,
 }
 
 Status Database::CreateIndex(const IndexDef& def) {
+  const std::string key = def.Key();
+  BuiltIndex* build = nullptr;
+  HeapTable* table = nullptr;
+  size_t snapshot_slots = 0;
+  {
+    // Phase 0 — registration, brief exclusive window: the slot horizon
+    // and the delta routing switch on atomically. Every writer that runs
+    // after this latch drops feeds the build's side delta.
+    LatchManager::Guard guard = latches_.AcquireExclusive(def.table);
+    StatusOr<BuiltIndex*> begun = index_manager_->BeginBuild(def);
+    if (!begun.ok()) return begun.status();
+    build = *begun;
+    table = catalog_->GetTable(def.table);
+    snapshot_slots = table->num_slots();
+  }
+  FireIndexBuildHook(IndexBuildPhase::kRegistered);
+  // Phase 1 — snapshot scan in chunks under *shared* latches, so writers
+  // interleave between chunks. Only slots below the registration horizon
+  // are scanned: RowIds are never reused, so every later insert has a
+  // higher slot and reached the delta instead. Slots mutated mid-scan are
+  // reconciled by the idempotent (delete-then-insert) delta apply.
+  for (size_t lo = 0; lo < snapshot_slots; lo += kBuildScanChunkSlots) {
+    const size_t hi = std::min(snapshot_slots, lo + kBuildScanChunkSlots);
+    LatchManager::Guard guard = latches_.AcquireShared({def.table});
+    for (RowId rid = lo; rid < hi; ++rid) {
+      if (table->IsLive(rid)) build->BuildInsert(table->Get(rid), rid);
+    }
+  }
+  FireIndexBuildHook(IndexBuildPhase::kScanned);
+  // Phase 2 — delta catch-up. Free-running rounds first (no latch: the
+  // buffered ops carry their row images, writers keep appending under the
+  // build's own delta mutex, and the trees are builder-private until
+  // publish). If the delta stops shrinking — writers are producing at
+  // least as fast as the drain — fall through to paced rounds below
+  // rather than letting the backlog grow unboundedly.
+  for (size_t round = 0; round < kBuildFreeCatchupRounds; ++round) {
+    const size_t before = build->delta_pending();
+    if (before <= kBuildPublishThreshold) break;
+    build->ApplyDeltaBatch(kBuildCatchupBatch);
+    // Net shrink under half a batch: a write storm is winning. Pace it.
+    if (build->delta_pending() + kBuildCatchupBatch / 2 > before) break;
+  }
+  // Paced catch-up: each round drains one batch while holding a *shared*
+  // table latch. Writers take the exclusive latch per statement, so they
+  // queue for at most one batch's worth of apply time and only a handful
+  // of statements slip in between rounds — every round nets nearly a full
+  // batch of progress, which bounds both this loop and the final
+  // exclusive drain at publish.
+  while (build->delta_pending() > kBuildPublishThreshold) {
+    LatchManager::Guard guard = latches_.AcquireShared({def.table});
+    build->ApplyDeltaBatch(kBuildCatchupBatch);
+  }
+  FireIndexBuildHook(IndexBuildPhase::kCaughtUp);
+  // Phase 3 — publish, brief exclusive window: drain the final delta,
+  // append the WAL create record (only now — a crash mid-build must
+  // recover to "index absent"), and flip the index to kReady. Any failure
+  // aborts the build so no half-built state leaks.
+  Status s;
+  {
+    LatchManager::Guard guard = latches_.AcquireExclusive(def.table);
+    s = index_manager_->FinishBuildDrain(key);
+    if (s.ok()) {
+      s = CommitDurable([&](DurabilityLog* log, uint64_t version) {
+        return log->AppendCreateIndex(def, version);
+      });
+    }
+    if (s.ok()) {
+      s = index_manager_->PublishBuild(key);
+    } else {
+      (void)index_manager_->AbortBuild(key);
+    }
+  }
+  if (!s.ok()) return s;
+  FireIndexBuildHook(IndexBuildPhase::kPublished);
+  return RunInvariantHook();
+}
+
+Status Database::CreateIndexBlocking(const IndexDef& def) {
   // Exclusive: the build scans the heap and a half-built index must never
   // be visible to statement lowering.
   LatchManager::Guard guard = latches_.AcquireExclusive(def.table);

@@ -48,10 +48,29 @@ class Database {
 
   // --- DDL ---
   StatusOr<HeapTable*> CreateTable(const std::string& name, Schema schema);
+  // Online three-phase index build (DESIGN.md §10): registers a kBuilding
+  // index under a brief exclusive latch (from which point writer
+  // maintenance lands in the build's side-delta buffer), scans the heap
+  // in chunks under *shared* latches so writers interleave, catches the
+  // delta up, then drains the final delta, appends the WAL create record,
+  // and publishes — all inside one short exclusive window. Concurrent
+  // writer stalls are O(final delta drain), not O(heap scan).
   Status CreateIndex(const IndexDef& def);
+  // Legacy blocking build: exclusive latch across the whole heap scan.
+  // Used by recovery (the database is quiesced, so online phases would
+  // only add overhead) and as the baseline in bench_online_build.
+  Status CreateIndexBlocking(const IndexDef& def);
   Status DropIndex(const std::string& key_or_name);
   bool HasIndex(const IndexDef& def) const {
     return index_manager_->HasIndex(def);
+  }
+
+  // Test-only observation points between the online build's phases, fired
+  // with no latch held so the observer may run statements/snapshots.
+  enum class IndexBuildPhase { kRegistered, kScanned, kCaughtUp, kPublished };
+  using IndexBuildHook = std::function<void(IndexBuildPhase)>;
+  void set_index_build_hook(IndexBuildHook hook) {
+    index_build_hook_ = std::move(hook);
   }
 
   // --- DML ---
@@ -181,8 +200,13 @@ class Database {
     return durability_log_ != nullptr;
   }
 
+  void FireIndexBuildHook(IndexBuildPhase phase) const {
+    if (index_build_hook_) index_build_hook_(phase);
+  }
+
   CostParams params_;
   InvariantHook invariant_hook_;
+  IndexBuildHook index_build_hook_;
   mutable LatchManager latches_;
   std::atomic<uint64_t> data_version_{1};
   // Serializes (data-version bump, WAL append) pairs across writers and

@@ -115,8 +115,11 @@ StatusOr<ExecResult> Executor::ExecuteInsert(const InsertStatement& stmt) {
     BuiltIndex* index;
     size_t splits_before;
   };
+  // Write-visible = ready + in-flight builds: an online build must see
+  // every mutation (buffered into its side delta) or the published index
+  // would miss rows.
   std::vector<IndexSnapshot> snaps;
-  for (BuiltIndex* bi : indexes_->IndexesOnTable(stmt.table)) {
+  for (BuiltIndex* bi : indexes_->WriteVisibleOnTable(stmt.table)) {
     snaps.push_back({bi, bi->num_splits()});
   }
 
@@ -196,8 +199,8 @@ StatusOr<ExecResult> Executor::ExecuteUpdate(const UpdateStatement& stmt) {
     if (!s.ok()) return s;
     // Updates refresh affected indexes immediately (Sec. V): only indexes
     // whose key (or, for local indexes, shard) actually changed pay the
-    // maintenance cost.
-    for (BuiltIndex* bi : indexes_->IndexesOnTable(stmt.table)) {
+    // maintenance cost. Write-visible so in-flight builds see the change.
+    for (BuiltIndex* bi : indexes_->WriteVisibleOnTable(stmt.table)) {
       const Row old_key = bi->KeyFromRow(old_row);
       const Row new_key = bi->KeyFromRow(new_row);
       const bool shard_moved =
@@ -238,8 +241,9 @@ StatusOr<ExecResult> Executor::ExecuteDelete(const DeleteStatement& stmt) {
     // Deletes defer index maintenance (Sec. V: "deletes update the index
     // after finishing the query, whose index update cost is 0"). We still
     // remove the entries to keep indexes consistent, but charge no
-    // maintenance CPU/IO to the query.
-    for (BuiltIndex* bi : indexes_->IndexesOnTable(stmt.table)) {
+    // maintenance CPU/IO to the query. Write-visible so in-flight builds
+    // see the delete.
+    for (BuiltIndex* bi : indexes_->WriteVisibleOnTable(stmt.table)) {
       bi->DeleteEntry(old_row, rid);
     }
   }

@@ -35,10 +35,26 @@ void SortByDisplayName(std::vector<IndexPtr>* indexes) {
             });
 }
 
+// Batch size for draining the side delta; bounds how long delta_mu_ is
+// held per swap and how much is applied between latch re-acquisitions.
+constexpr size_t kDeltaDrainBatch = 1024;
+
 }  // namespace
 
-BuiltIndex::BuiltIndex(IndexDef def, const HeapTable& table)
-    : def_(std::move(def)), table_(&table) {
+const char* IndexStateName(IndexState state) {
+  switch (state) {
+    case IndexState::kBuilding:
+      return "building";
+    case IndexState::kReady:
+      return "ready";
+    case IndexState::kDropping:
+      return "dropping";
+  }
+  return "unknown";
+}
+
+BuiltIndex::BuiltIndex(IndexDef def, const HeapTable& table, IndexState state)
+    : def_(std::move(def)), table_(&table), state_(state) {
   column_ordinals_.reserve(def_.columns.size());
   for (const std::string& col : def_.columns) {
     column_ordinals_.push_back(table.schema().FindColumn(col));
@@ -63,16 +79,72 @@ Row BuiltIndex::KeyFromRow(const Row& row) const {
   return key;
 }
 
-void BuiltIndex::InsertEntry(const Row& full_row, RowId rid) {
+void BuiltIndex::TreeInsert(const Row& full_row, RowId rid) {
   const size_t shard =
       is_local() ? table_->PartitionOfRow(full_row) % trees_.size() : 0;
   trees_[shard]->Insert(KeyFromRow(full_row), rid);
 }
 
-bool BuiltIndex::DeleteEntry(const Row& full_row, RowId rid) {
+bool BuiltIndex::TreeDelete(const Row& full_row, RowId rid) {
   const size_t shard =
       is_local() ? table_->PartitionOfRow(full_row) % trees_.size() : 0;
   return trees_[shard]->Delete(KeyFromRow(full_row), rid);
+}
+
+void BuiltIndex::InsertEntry(const Row& full_row, RowId rid) {
+  if (state() == IndexState::kBuilding) {
+    util::MutexLock lock(delta_mu_);
+    delta_.push_back(DeltaOp{DeltaOp::Kind::kInsert, full_row, rid});
+    return;
+  }
+  TreeInsert(full_row, rid);
+}
+
+bool BuiltIndex::DeleteEntry(const Row& full_row, RowId rid) {
+  if (state() == IndexState::kBuilding) {
+    util::MutexLock lock(delta_mu_);
+    delta_.push_back(DeltaOp{DeltaOp::Kind::kDelete, full_row, rid});
+    return true;  // the buffered op settles it at apply time
+  }
+  return TreeDelete(full_row, rid);
+}
+
+void BuiltIndex::BuildInsert(const Row& full_row, RowId rid) {
+  TreeInsert(full_row, rid);
+}
+
+size_t BuiltIndex::ApplyDeltaBatch(size_t max_ops) {
+  std::vector<DeltaOp> batch;
+  {
+    util::MutexLock lock(delta_mu_);
+    const size_t take = std::min(max_ops, delta_.size());
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(delta_.front()));
+      delta_.pop_front();
+    }
+  }
+  // Applied outside delta_mu_: while kBuilding only the builder thread
+  // touches the trees (writers buffer; readers never see the index).
+  for (const DeltaOp& op : batch) {
+    // Delete-then-insert makes delta application idempotent against the
+    // snapshot scan: a row both scanned and buffered collapses to one
+    // entry because RowIds are never reused, so (key,rid) pins it.
+    TreeDelete(op.row, op.rid);
+    if (op.kind == DeltaOp::Kind::kInsert) TreeInsert(op.row, op.rid);
+  }
+  return batch.size();
+}
+
+size_t BuiltIndex::delta_pending() const {
+  util::MutexLock lock(delta_mu_);
+  return delta_.size();
+}
+
+void BuiltIndex::Publish() {
+  while (ApplyDeltaBatch(kDeltaDrainBatch) > 0) {
+  }
+  set_state(IndexState::kReady);
 }
 
 void BuiltIndex::Scan(const Value* partition_value, const Row* lo,
@@ -167,36 +239,111 @@ Status IndexManager::CreateIndex(const IndexDef& def) {
   Status s = ValidateDef(def);
   if (!s.ok()) return s;
   const std::string key = def.Key();
+  {
+    // Cheap existence probe *before* the expensive build scan: a
+    // duplicate must not pay for a full-table pass it will throw away.
+    util::ReaderLock lock(mu_);
+    if (indexes_.count(key) > 0 || builds_.count(key) > 0) {
+      return Status::AlreadyExists("index exists: " + key);
+    }
+  }
   HeapTable* table = catalog_->GetTable(def.table);
   // Build outside the map lock: the table scan is long and is already
   // serialized by the caller's exclusive table latch.
   auto index = std::make_unique<BuiltIndex>(def, *table);
   BuiltIndex* raw = index.get();
-  table->Scan([&](RowId rid, const Row& row) { raw->InsertEntry(row, rid); });
+  table->Scan([&](RowId rid, const Row& row) { raw->BuildInsert(row, rid); });
   util::WriterLock lock(mu_);
-  if (indexes_.count(key) > 0) {
+  // Recheck under the writer lock: another creator may have won the race
+  // between the probe and here.
+  if (indexes_.count(key) > 0 || builds_.count(key) > 0) {
     return Status::AlreadyExists("index exists: " + key);
   }
   indexes_.emplace(key, std::move(index));
   return Status::Ok();
 }
 
+StatusOr<BuiltIndex*> IndexManager::BeginBuild(const IndexDef& def) {
+  Status s = ValidateDef(def);
+  if (!s.ok()) return s;
+  const std::string key = def.Key();
+  HeapTable* table = catalog_->GetTable(def.table);
+  auto index =
+      std::make_unique<BuiltIndex>(def, *table, IndexState::kBuilding);
+  BuiltIndex* raw = index.get();
+  util::WriterLock lock(mu_);
+  if (indexes_.count(key) > 0 || builds_.count(key) > 0) {
+    return Status::AlreadyExists("index exists: " + key);
+  }
+  builds_.emplace(key, std::move(index));
+  return raw;
+}
+
+Status IndexManager::FinishBuildDrain(const std::string& key) {
+  BuiltIndex* build = nullptr;
+  {
+    util::ReaderLock lock(mu_);
+    auto it = builds_.find(key);
+    if (it == builds_.end()) {
+      return Status::NotFound("no in-flight build: " + key);
+    }
+    build = it->second.get();
+  }
+  // Safe without mu_: only the build's driver thread publishes or aborts
+  // it, and the caller's exclusive table latch stops new delta arrivals.
+  while (build->ApplyDeltaBatch(kDeltaDrainBatch) > 0) {
+  }
+  return Status::Ok();
+}
+
+Status IndexManager::PublishBuild(const std::string& key) {
+  util::WriterLock lock(mu_);
+  auto it = builds_.find(key);
+  if (it == builds_.end()) {
+    return Status::NotFound("no in-flight build: " + key);
+  }
+  it->second->Publish();  // drains any residue, flips to kReady
+  indexes_.emplace(key, std::move(it->second));
+  builds_.erase(it);
+  return Status::Ok();
+}
+
+Status IndexManager::AbortBuild(const std::string& key) {
+  util::WriterLock lock(mu_);
+  auto it = builds_.find(key);
+  if (it == builds_.end()) {
+    return Status::NotFound("no in-flight build: " + key);
+  }
+  it->second->set_state(IndexState::kDropping);
+  builds_.erase(it);
+  return Status::Ok();
+}
+
 Status IndexManager::DropIndex(const std::string& index_key_or_name) {
   util::WriterLock lock(mu_);
-  if (indexes_.erase(index_key_or_name) > 0) return Status::Ok();
-  // Fall back to display-name lookup.
-  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
-    if (it->second->def().DisplayName() == index_key_or_name) {
-      indexes_.erase(it);
-      return Status::Ok();
+  auto it = indexes_.find(index_key_or_name);
+  if (it == indexes_.end()) {
+    // Fall back to display-name lookup.
+    for (auto cand = indexes_.begin(); cand != indexes_.end(); ++cand) {
+      if (cand->second->def().DisplayName() == index_key_or_name) {
+        it = cand;
+        break;
+      }
     }
   }
-  return Status::NotFound("no such index: " + index_key_or_name);
+  if (it == indexes_.end()) {
+    return Status::NotFound("no such index: " + index_key_or_name);
+  }
+  it->second->set_state(IndexState::kDropping);
+  indexes_.erase(it);
+  return Status::Ok();
 }
 
 bool IndexManager::HasIndex(const IndexDef& def) const {
   util::ReaderLock lock(mu_);
-  return indexes_.count(def.Key()) > 0;
+  // In-flight builds count: a duplicate create must not start while the
+  // same definition is mid-build.
+  return indexes_.count(def.Key()) > 0 || builds_.count(def.Key()) > 0;
 }
 
 std::string IndexManager::TableOf(const std::string& index_key_or_name) const {
@@ -253,6 +400,31 @@ std::vector<const BuiltIndex*> IndexManager::AllIndexes() const {
   return out;
 }
 
+std::vector<BuiltIndex*> IndexManager::WriteVisibleOnTable(
+    const std::string& table) {
+  std::vector<BuiltIndex*> out;
+  const std::string key = ToLower(table);
+  util::ReaderLock lock(mu_);
+  for (auto& [_, index] : indexes_) {
+    if (index->def().table == key) out.push_back(index.get());
+  }
+  for (auto& [_, build] : builds_) {
+    if (build->def().table == key) out.push_back(build.get());
+  }
+  SortByDisplayName(&out);
+  return out;
+}
+
+std::vector<const BuiltIndex*> IndexManager::AllIndexesAnyState() const {
+  std::vector<const BuiltIndex*> out;
+  util::ReaderLock lock(mu_);
+  out.reserve(indexes_.size() + builds_.size());
+  for (const auto& [_, index] : indexes_) out.push_back(index.get());
+  for (const auto& [_, build] : builds_) out.push_back(build.get());
+  SortByDisplayName(&out);
+  return out;
+}
+
 size_t IndexManager::num_indexes() const {
   util::ReaderLock lock(mu_);
   return indexes_.size();
@@ -268,7 +440,7 @@ size_t IndexManager::TotalIndexBytes() const {
 size_t IndexManager::OnInsert(const std::string& table, RowId rid,
                               const Row& row) {
   size_t touched = 0;
-  for (BuiltIndex* index : IndexesOnTable(table)) {
+  for (BuiltIndex* index : WriteVisibleOnTable(table)) {
     index->InsertEntry(row, rid);
     index->RecordMaintenance();
     ++touched;
@@ -279,7 +451,7 @@ size_t IndexManager::OnInsert(const std::string& table, RowId rid,
 size_t IndexManager::OnDelete(const std::string& table, RowId rid,
                               const Row& row) {
   size_t touched = 0;
-  for (BuiltIndex* index : IndexesOnTable(table)) {
+  for (BuiltIndex* index : WriteVisibleOnTable(table)) {
     index->DeleteEntry(row, rid);
     index->RecordMaintenance();
     ++touched;
@@ -291,7 +463,7 @@ size_t IndexManager::OnUpdate(const std::string& table, RowId rid,
                               const Row& old_row, const Row& new_row) {
   size_t touched = 0;
   const HeapTable* t = catalog_->GetTable(table);
-  for (BuiltIndex* index : IndexesOnTable(table)) {
+  for (BuiltIndex* index : WriteVisibleOnTable(table)) {
     const Row old_key = index->KeyFromRow(old_row);
     const Row new_key = index->KeyFromRow(new_row);
     const bool partition_moved =

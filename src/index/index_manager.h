@@ -1,6 +1,8 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -14,13 +16,30 @@
 
 namespace autoindex {
 
+// Lifecycle state of a built index (DESIGN.md §10).
+//
+//   kBuilding → kReady → kDropping
+//
+// kReady indexes are the only ones the planner sees and the only ones a
+// checkpoint serializes. A kBuilding index is being populated online: the
+// builder scans the heap under a *shared* table latch while concurrent
+// writer maintenance lands in a side-delta buffer instead of the trees.
+// kDropping marks an index in the instant before it is unlinked, so a
+// stale borrowed pointer can be diagnosed by validators.
+enum class IndexState { kBuilding, kReady, kDropping };
+
+const char* IndexStateName(IndexState state);
+
 // A materialized secondary index: definition + one B+Tree (global) or one
 // tree per table partition (local), plus runtime usage counters that feed
 // the index-diagnosis module.
 class BuiltIndex {
  public:
   // `table` supplies the schema and (for local indexes) the partitioning.
-  BuiltIndex(IndexDef def, const HeapTable& table);
+  // Indexes start kReady by default (blocking build, tests); the online
+  // build path constructs them kBuilding.
+  BuiltIndex(IndexDef def, const HeapTable& table,
+             IndexState state = IndexState::kReady);
 
   const IndexDef& def() const { return def_; }
   bool is_local() const { return trees_.size() > 1; }
@@ -35,9 +54,33 @@ class BuiltIndex {
   // Extracts this index's key from a full table row.
   Row KeyFromRow(const Row& row) const;
 
-  // Entry maintenance, routed to the owning partition's tree.
-  void InsertEntry(const Row& full_row, RowId rid);
-  bool DeleteEntry(const Row& full_row, RowId rid);
+  // Entry maintenance, routed to the owning partition's tree. While the
+  // index is kBuilding these buffer the operation into the side delta
+  // instead (the caller holds the table's exclusive latch either way);
+  // DeleteEntry then reports true because the delta will settle it.
+  void InsertEntry(const Row& full_row, RowId rid) EXCLUDES(delta_mu_);
+  bool DeleteEntry(const Row& full_row, RowId rid) EXCLUDES(delta_mu_);
+
+  // --- Lifecycle ---
+  IndexState state() const { return state_.load(std::memory_order_acquire); }
+  bool ready() const { return state() == IndexState::kReady; }
+  void set_state(IndexState s) {
+    state_.store(s, std::memory_order_release);
+  }
+
+  // --- Online-build support (only meaningful while kBuilding) ---
+  // Direct tree insert used by the build's snapshot scan; bypasses the
+  // delta buffer. Only the builder thread calls this.
+  void BuildInsert(const Row& full_row, RowId rid);
+  // Pops up to `max_ops` buffered delta operations and applies them to
+  // the trees. Inserts apply delete-then-insert: RowIds are never reused,
+  // so (key,rid) pins the entry and re-application of a row the snapshot
+  // scan already saw stays single-entry. Returns the ops applied.
+  size_t ApplyDeltaBatch(size_t max_ops) EXCLUDES(delta_mu_);
+  size_t delta_pending() const EXCLUDES(delta_mu_);
+  // Drains the remaining delta and flips the state to kReady. The caller
+  // must hold the table's exclusive latch so no new delta ops can arrive.
+  void Publish() EXCLUDES(delta_mu_);
 
   // Scans the index. For a local index, `partition_value` (the bound value
   // of the table's partition column, when the query pins it) restricts the
@@ -70,12 +113,29 @@ class BuiltIndex {
   }
 
  private:
+  // One buffered writer operation against a kBuilding index. The full row
+  // is kept so partition routing can be recomputed at apply time.
+  struct DeltaOp {
+    enum class Kind { kInsert, kDelete };
+    Kind kind;
+    Row row;
+    RowId rid;
+  };
+
+  // Shard-routed tree mutation (the pre-lifecycle InsertEntry/DeleteEntry
+  // bodies).
+  void TreeInsert(const Row& full_row, RowId rid);
+  bool TreeDelete(const Row& full_row, RowId rid);
+
   IndexDef def_;
   const HeapTable* table_;
   std::vector<int> column_ordinals_;
   std::vector<std::unique_ptr<BTree>> trees_;
+  std::atomic<IndexState> state_{IndexState::kReady};
   std::atomic<size_t> uses_{0};
   std::atomic<size_t> maintenance_ops_{0};
+  mutable util::Mutex delta_mu_;
+  std::deque<DeltaOp> delta_ GUARDED_BY(delta_mu_);
 };
 
 // A what-if index (Sec. V C2.1): never built, its statistics are estimated
@@ -119,18 +179,39 @@ class IndexManager {
   IndexManager(const IndexManager&) = delete;
   IndexManager& operator=(const IndexManager&) = delete;
 
-  // Builds a real index by scanning the table. Fails on duplicates
-  // (same column list) or unknown table/columns.
+  // Builds a real index by scanning the table, blocking writers for the
+  // duration (the caller holds the table's exclusive latch). Fails on
+  // duplicates (same column list, whether ready or in-flight) or unknown
+  // table/columns — existence is checked *before* the build scan.
+  // Production DDL goes through Database::CreateIndex's online phased
+  // build instead (see the direct-index-build lint rule).
   Status CreateIndex(const IndexDef& def) EXCLUDES(mu_);
   Status DropIndex(const std::string& index_key_or_name) EXCLUDES(mu_);
   bool HasIndex(const IndexDef& def) const EXCLUDES(mu_);
+
+  // --- Online build lifecycle (driven by Database::CreateIndex) ---
+  // Registers an empty kBuilding index and returns a borrowed pointer.
+  // From this moment writer maintenance reaches it (via
+  // WriteVisibleOnTable) and buffers into its side delta; the planner
+  // does not see it until PublishBuild. Caller holds the table's
+  // exclusive latch for the registration instant.
+  StatusOr<BuiltIndex*> BeginBuild(const IndexDef& def) EXCLUDES(mu_);
+  // Drains the build's remaining delta into its trees. The caller holds
+  // the table's exclusive latch, so the delta cannot grow concurrently.
+  Status FinishBuildDrain(const std::string& key) EXCLUDES(mu_);
+  // Flips the build to kReady and moves it into the planner-visible map.
+  Status PublishBuild(const std::string& key) EXCLUDES(mu_);
+  // Abandons an in-flight build, discarding its trees and delta.
+  Status AbortBuild(const std::string& key) EXCLUDES(mu_);
 
   // Table owning the index named by key or display name; empty string if
   // the index is unknown. Used to pick the exclusive latch before a drop.
   std::string TableOf(const std::string& index_key_or_name) const
       EXCLUDES(mu_);
 
-  // All built indexes on one table (borrowed pointers).
+  // All *ready* indexes on one table (borrowed pointers). Read-path
+  // accessors deliberately exclude in-flight builds: the planner, the
+  // cost model, diagnosis, and checkpoints must never observe kBuilding.
   std::vector<BuiltIndex*> IndexesOnTable(const std::string& table)
       EXCLUDES(mu_);
   std::vector<const BuiltIndex*> IndexesOnTable(const std::string& table) const
@@ -138,6 +219,13 @@ class IndexManager {
   std::vector<BuiltIndex*> AllIndexes() EXCLUDES(mu_);
   std::vector<const BuiltIndex*> AllIndexes() const EXCLUDES(mu_);
   size_t num_indexes() const EXCLUDES(mu_);
+
+  // Ready + building indexes on a table: everything the write path must
+  // maintain so an in-flight build misses no mutation.
+  std::vector<BuiltIndex*> WriteVisibleOnTable(const std::string& table)
+      EXCLUDES(mu_);
+  // Every index in any state (shell \indexes, validators).
+  std::vector<const BuiltIndex*> AllIndexesAnyState() const EXCLUDES(mu_);
 
   // Total bytes of all built indexes.
   size_t TotalIndexBytes() const EXCLUDES(mu_);
@@ -166,8 +254,12 @@ class IndexManager {
 
   Catalog* catalog_;
   mutable util::SharedMutex mu_;
-  // Keyed by IndexDef::Key().
+  // Ready (planner-visible) indexes, keyed by IndexDef::Key().
   std::unordered_map<std::string, std::unique_ptr<BuiltIndex>> indexes_
+      GUARDED_BY(mu_);
+  // In-flight online builds (state kBuilding), same keying. Disjoint from
+  // indexes_; PublishBuild moves an entry across.
+  std::unordered_map<std::string, std::unique_ptr<BuiltIndex>> builds_
       GUARDED_BY(mu_);
   std::vector<HypotheticalIndex> hypothetical_ GUARDED_BY(mu_);
 };

@@ -93,6 +93,9 @@ Status RestoreCatalog(Database* db, Reader* r, RecoveryReport* report) {
 
 void SerializeIndexes(const Database& db, Writer* w) {
   std::vector<IndexDef> defs;
+  // AllIndexes is ready-only by contract: an in-flight (kBuilding) index
+  // never reaches a checkpoint, so a crash mid-build recovers to "index
+  // absent" — matching the WAL, whose create record lands at publish.
   for (const BuiltIndex* index : db.index_manager().AllIndexes()) {
     defs.push_back(index->def());
   }
@@ -112,8 +115,9 @@ Status RestoreIndexes(Database* db, Reader* r, RecoveryReport* report) {
     IndexDef def = GetIndexDef(r);
     if (!r->ok()) break;
     // Rebuilds the tree by scanning the restored heap — only definitions
-    // are checkpointed.
-    Status s = db->CreateIndex(def);
+    // are checkpointed. Blocking build: recovery is quiesced, so the
+    // online build's phased latching would only add overhead.
+    Status s = db->CreateIndexBlocking(def);
     if (!s.ok()) return s;
     ++report->indexes_rebuilt;
   }
@@ -133,7 +137,8 @@ Status ApplyWalRecord(Database* db, AutoIndexManager* manager,
       return table.status();
     }
     case WalRecord::Type::kCreateIndex:
-      return db->CreateIndex(record.def);
+      // Quiesced replay: blocking build (see RestoreIndexes).
+      return db->CreateIndexBlocking(record.def);
     case WalRecord::Type::kDropIndex:
       return db->DropIndex(record.name);
     case WalRecord::Type::kBulkInsert:
