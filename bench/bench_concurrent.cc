@@ -4,13 +4,17 @@
 // throughput/latency plus a single-threaded baseline so the latching
 // overhead on the sequential path is visible.
 //
-// Usage: bench_concurrent [client_threads] [queries]
-// This is the binary the TSan acceptance gate runs (scripts/check.sh).
+// Usage: bench_concurrent [--short] [client_threads] [queries]
+// This is the binary the TSan acceptance gate runs (scripts/check.sh);
+// `--short` is the reduced trace the metrics-overhead gate times (it
+// compares TOTAL_WALL_MS between AUTOINDEX_METRICS=ON and OFF builds).
 
 #include <cstdlib>
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "check/validator.h"
+#include "util/metrics.h"
 #include "workload/banking.h"
 #include "workload/driver.h"
 #include "workload/tpcc.h"
@@ -36,6 +40,23 @@ void PrintClientRows(const DriverReport& report) {
                 "indexes\n",
                 report.tuning_rounds, report.observed, report.indexes_added,
                 report.indexes_removed);
+  }
+  // Wall-clock percentiles (DESIGN.md §11). service = issue->done;
+  // response = scheduled->done. This replay is closed-loop (pace_us == 0)
+  // so the two distributions coincide; open-loop runs split them.
+  if (report.service_latency.count > 0) {
+    std::printf("  service  | p50 %6llu us | p90 %6llu us | p99 %6llu us | "
+                "max %6llu us\n",
+                (unsigned long long)report.service_latency.P50Us(),
+                (unsigned long long)report.service_latency.P90Us(),
+                (unsigned long long)report.service_latency.P99Us(),
+                (unsigned long long)report.service_latency.max_us);
+    std::printf("  response | p50 %6llu us | p90 %6llu us | p99 %6llu us | "
+                "max %6llu us\n",
+                (unsigned long long)report.response_latency.P50Us(),
+                (unsigned long long)report.response_latency.P90Us(),
+                (unsigned long long)report.response_latency.P99Us(),
+                (unsigned long long)report.response_latency.max_us);
   }
 }
 
@@ -101,11 +122,28 @@ void RunBanking(int threads, size_t num_queries) {
 }  // namespace autoindex
 
 int main(int argc, char** argv) {
-  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
-  const size_t queries =
-      argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 1200;
+  int threads = 4;
+  size_t queries = 1200;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) {
+      // Reduced trace for the metrics-overhead gate: enough statements to
+      // exercise every instrumented path, short enough to run min-of-N.
+      threads = 2;
+      queries = 300;
+    } else if (positional == 0) {
+      threads = std::atoi(argv[i]);
+      ++positional;
+    } else {
+      queries = static_cast<size_t>(std::atoll(argv[i]));
+      ++positional;
+    }
+  }
+  const autoindex::util::Stopwatch total_watch;
   autoindex::RunTpcc(threads, queries);
   autoindex::RunBanking(threads, queries / 2);
-  std::printf("\nOK\n");
+  // Machine-readable total for scripts/check.sh's overhead comparison.
+  std::printf("\nTOTAL_WALL_MS %.1f\n", total_watch.ElapsedMs());
+  std::printf("OK\n");
   return 0;
 }

@@ -104,8 +104,8 @@ int main() {
 
   std::printf("AutoIndex shell — \\demo \\tune \\diagnose \\indexes "
               "\\templates \\explain [analyze] <sql> \\budget <MiB> "
-              "\\check [on|off] \\save <dir> \\open <dir> "
-              "\\wal status \\quit\n");
+              "\\check [on|off] \\metrics [prefix] \\save <dir> "
+              "\\open <dir> \\wal status \\quit\n");
   std::string line;
   while (true) {
     std::printf("autoindex> ");
@@ -155,6 +155,18 @@ int main() {
           std::printf("%s\n", report.ToString().c_str());
         } else {
           std::printf("usage: \\check [on|off]\n");
+        }
+      } else if (cmd == "metrics") {
+        // "\metrics" dumps every series; "\metrics wal." just that
+        // subsystem. Prometheus text format, same as RenderMetricsText.
+        std::string prefix;
+        iss >> prefix;
+        const std::string text = db->RenderMetricsText(prefix);
+        if (text.empty()) {
+          std::printf("no metrics%s%s yet\n", prefix.empty() ? "" : " under ",
+                      prefix.c_str());
+        } else {
+          std::printf("%s", text.c_str());
         }
       } else if (cmd == "diagnose") {
         DiagnosisReport report = manager->Diagnose();

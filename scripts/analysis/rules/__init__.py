@@ -7,6 +7,7 @@ from . import direct_index_build  # noqa: F401
 from . import include_cycle     # noqa: F401
 from . import naked_mutex       # noqa: F401
 from . import pragma_once       # noqa: F401
+from . import raw_chrono_metric  # noqa: F401
 from . import raw_file_io       # noqa: F401
 from . import raw_new_delete    # noqa: F401
 from . import status_ignored    # noqa: F401

@@ -81,6 +81,41 @@ ctest --test-dir build-werror -L bench-smoke --output-on-failure
 step "recovery tests (snapshot/WAL crash matrix, plain build)"
 ctest --test-dir build-werror -L recovery --output-on-failure
 
+step "metrics overhead gate (ON vs AUTOINDEX_METRICS=OFF, bench_concurrent --short)"
+# The observability layer's contract (DESIGN.md §11) is < 5% overhead on
+# the concurrent bench. Build a metrics-free baseline of just the bench
+# binary, run both min-of-3 (min is the right statistic for noise: the
+# fastest run is the least-perturbed one), and compare TOTAL_WALL_MS.
+cmake -B build-nometrics -S . -DAUTOINDEX_METRICS=OFF >/dev/null
+cmake --build build-nometrics -j "${JOBS}" --target bench_concurrent
+bench_min_ms() {
+  local binary="$1" best="" ms
+  for _ in 1 2 3; do
+    ms="$("${binary}" --short | awk '/^TOTAL_WALL_MS/ {print $2}')"
+    if [[ -z "${best}" ]] || awk -v a="${ms}" -v b="${best}" \
+        'BEGIN {exit !(a < b)}'; then
+      best="${ms}"
+    fi
+  done
+  echo "${best}"
+}
+ON_MS="$(bench_min_ms build-werror/bench/bench_concurrent)"
+OFF_MS="$(bench_min_ms build-nometrics/bench/bench_concurrent)"
+echo "metrics ON:  ${ON_MS} ms (min of 3)"
+echo "metrics OFF: ${OFF_MS} ms (min of 3)"
+# 5% relative plus a 20 ms absolute grace so sub-second --short runs
+# don't fail on scheduler jitter alone.
+python3 - "${ON_MS}" "${OFF_MS}" <<'EOF'
+import sys
+on, off = float(sys.argv[1]), float(sys.argv[2])
+budget = off * 1.05 + 20.0
+if on > budget:
+    sys.exit(f"FAIL: metrics-on {on:.1f} ms exceeds budget {budget:.1f} ms "
+             f"(baseline {off:.1f} ms + 5% + 20 ms grace)")
+print(f"OK: overhead {on - off:+.1f} ms ({(on / off - 1) * 100:+.1f}%) "
+      f"within budget")
+EOF
+
 if [[ "${FAST}" == "1" ]]; then
   step "OK (fast mode: sanitizer stages skipped)"
   exit 0

@@ -6,6 +6,7 @@
 #include "check/latch_validator.h"
 #include "check/lifecycle_validator.h"
 #include "check/mcts_validator.h"
+#include "check/metrics_validator.h"
 #include "check/plan_validator.h"
 #include "engine/database.h"
 #include "storage/latch_manager.h"
@@ -40,6 +41,7 @@ ValidatorRegistry& ValidatorRegistry::Default() {
     registry.Register(std::make_unique<PhysicalPlanValidator>());
     registry.Register(std::make_unique<LatchValidator>());
     registry.Register(std::make_unique<LifecycleValidator>());
+    registry.Register(std::make_unique<MetricsValidator>());
     return true;
   }();
   (void)populated;

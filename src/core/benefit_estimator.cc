@@ -5,8 +5,29 @@
 #include <map>
 
 #include "persist/serde.h"
+#include "util/metrics.h"
 
 namespace autoindex {
+namespace {
+
+struct EstimatorMetrics {
+  util::Counter* cache_hits;
+  util::Counter* cache_misses;
+  util::Counter* cache_invalidations;
+
+  static const EstimatorMetrics& Get() {
+    static const EstimatorMetrics metrics = [] {
+      auto& registry = util::MetricsRegistry::Default();
+      return EstimatorMetrics{
+          registry.GetCounter("estimator.cache.hits"),
+          registry.GetCounter("estimator.cache.misses"),
+          registry.GetCounter("estimator.cache.invalidations")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 WorkloadModel WorkloadModel::FromTemplates(
     const std::vector<const QueryTemplate*>& templates) {
@@ -80,6 +101,9 @@ double IndexBenefitEstimator::EstimateWorkloadCost(
       util::MutexLock lock(cache_mu_);
       if (cache_epoch_ != epoch) {
         // Data or statistics moved since these entries were computed.
+        if (!cache_.empty()) {
+          EstimatorMetrics::Get().cache_invalidations->Add();
+        }
         cache_.clear();
         cache_epoch_ = epoch;
       }
@@ -89,7 +113,10 @@ double IndexBenefitEstimator::EstimateWorkloadCost(
         hit = true;
       }
     }
-    if (!hit) {
+    if (hit) {
+      EstimatorMetrics::Get().cache_hits->Add();
+    } else {
+      EstimatorMetrics::Get().cache_misses->Add();
       // Compute outside the lock: the what-if model is the expensive part.
       cost = EstimateStatementCost(entry.tmpl->representative, config);
       util::MutexLock lock(cache_mu_);
@@ -121,6 +148,9 @@ size_t IndexBenefitEstimator::num_observations() const {
 
 void IndexBenefitEstimator::InvalidateCache() const {
   util::MutexLock lock(cache_mu_);
+  if (!cache_.empty()) {
+    EstimatorMetrics::Get().cache_invalidations->Add();
+  }
   cache_.clear();
 }
 

@@ -1,10 +1,36 @@
 #include "core/manager.h"
 
-#include <chrono>
-
 #include "persist/serde.h"
+#include "util/metrics.h"
 
 namespace autoindex {
+namespace {
+
+// Tuning-loop observability (DESIGN.md §11): round cadence and the
+// split between candidate generation and MCTS search.
+struct TuningMetrics {
+  util::Counter* rounds;
+  util::Counter* observations;
+  util::Counter* decays;
+  util::LatencyHistogram* round_us;
+  util::LatencyHistogram* candidate_gen_us;
+  util::LatencyHistogram* search_us;
+
+  static const TuningMetrics& Get() {
+    static const TuningMetrics metrics = [] {
+      auto& registry = util::MetricsRegistry::Default();
+      return TuningMetrics{registry.GetCounter("tuning.rounds"),
+                           registry.GetCounter("tuning.observations"),
+                           registry.GetCounter("tuning.decays"),
+                           registry.GetHistogram("tuning.round_us"),
+                           registry.GetHistogram("tuning.candidate_gen_us"),
+                           registry.GetHistogram("tuning.search_us")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 AutoIndexManager::AutoIndexManager(Database* db, AutoIndexConfig config)
     : db_(db), config_(config), sample_rng_(0xA11CE) {
@@ -129,6 +155,7 @@ void AutoIndexManager::set_storage_budget(size_t bytes) {
 StatusOr<ExecResult> AutoIndexManager::ExecuteAndObserve(
     const std::string& sql) {
   templates_->Observe(sql);
+  TuningMetrics::Get().observations->Add();
   StatusOr<ExecResult> result = db_->Execute(sql);
   if (result.ok() && config_.learn_cost_model &&
       sample_rng_.Bernoulli(config_.observation_sample_rate)) {
@@ -146,6 +173,7 @@ StatusOr<ExecResult> AutoIndexManager::ExecuteAndObserve(
 
 void AutoIndexManager::ObserveOnly(const std::string& sql) {
   templates_->Observe(sql);
+  TuningMetrics::Get().observations->Add();
 }
 
 WorkloadModel AutoIndexManager::CurrentWorkload() const {
@@ -160,7 +188,8 @@ DiagnosisReport AutoIndexManager::Diagnose() {
 }
 
 TuningResult AutoIndexManager::RunManagementRound(bool apply) {
-  const auto start = std::chrono::steady_clock::now();
+  const TuningMetrics& metrics = TuningMetrics::Get();
+  const util::Stopwatch round_watch;
   TuningResult result;
 
   // Drift handling (Sec. IV-C): decay template frequencies when the match
@@ -168,6 +197,7 @@ TuningResult AutoIndexManager::RunManagementRound(bool apply) {
   if (templates_->MatchRate() < config_.drift_match_threshold &&
       rounds_run_ > 0) {
     templates_->Decay(config_.decay_factor);
+    metrics.decays->Add();
   }
   templates_->ResetMatchStats();
   templates_->AdvanceRound();
@@ -186,18 +216,17 @@ TuningResult AutoIndexManager::RunManagementRound(bool apply) {
   const WorkloadModel workload = WorkloadModel::FromTemplates(templates);
   const IndexConfig existing = db_->CurrentConfig();
 
-  const auto gen_start = std::chrono::steady_clock::now();
+  util::Stopwatch phase_watch;
   const std::vector<IndexDef> candidates =
       generator_->Generate(templates, existing);
-  const auto gen_end = std::chrono::steady_clock::now();
-  result.candidate_gen_ms =
-      std::chrono::duration<double, std::milli>(gen_end - gen_start).count();
+  result.candidate_gen_ms = phase_watch.ElapsedMs();
+  metrics.candidate_gen_us->Record(phase_watch.ElapsedUs());
   result.candidates_generated = candidates.size();
 
+  phase_watch.Restart();
   MctsResult mcts = selector_->Run(existing, candidates, workload);
-  result.search_ms = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - gen_end)
-                         .count();
+  result.search_ms = phase_watch.ElapsedMs();
+  metrics.search_us->Record(phase_watch.ElapsedUs());
   result.est_base_cost = mcts.base_cost;
   result.est_new_cost = mcts.best_cost;
   result.est_benefit = mcts.best_benefit;
@@ -250,9 +279,9 @@ TuningResult AutoIndexManager::RunManagementRound(bool apply) {
   }
 
   ++rounds_run_;
-  const auto end = std::chrono::steady_clock::now();
-  result.elapsed_ms =
-      std::chrono::duration<double, std::milli>(end - start).count();
+  metrics.rounds->Add();
+  metrics.round_us->Record(round_watch.ElapsedUs());
+  result.elapsed_ms = round_watch.ElapsedMs();
   return result;
 }
 

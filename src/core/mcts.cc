@@ -6,9 +6,31 @@
 
 #include "persist/serde.h"
 #include "persist/sql_serde.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace autoindex {
+namespace {
+
+struct MctsMetrics {
+  util::Counter* runs;
+  util::Counter* iterations;
+  util::Counter* rollouts;
+  util::Counter* nodes_expanded;
+
+  static const MctsMetrics& Get() {
+    static const MctsMetrics metrics = [] {
+      auto& registry = util::MetricsRegistry::Default();
+      return MctsMetrics{registry.GetCounter("mcts.runs"),
+                         registry.GetCounter("mcts.iterations"),
+                         registry.GetCounter("mcts.rollouts"),
+                         registry.GetCounter("mcts.nodes_expanded")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 struct MctsIndexSelector::Node {
   IndexConfig config;
@@ -179,6 +201,7 @@ double MctsIndexSelector::EvaluateNode(
   // the candidate pool) is exhausted, evaluating the leaf each time
   // (Sec. IV-B step 2: "randomly explore K descendants ... or descendant
   // nodes that arrive the storage constraint").
+  MctsMetrics::Get().rollouts->Add(config_.rollouts);
   for (size_t r = 0; r < config_.rollouts; ++r) {
     IndexConfig rollout = node->config;
     // Random order over candidates.
@@ -295,6 +318,10 @@ MctsResult MctsIndexSelector::Run(const IndexConfig& existing,
       break;
     }
   }
+
+  MctsMetrics::Get().runs->Add();
+  MctsMetrics::Get().iterations->Add(result.iterations_run);
+  MctsMetrics::Get().nodes_expanded->Add(result.nodes_expanded);
 
   result.best_config = best_config_;
   result.base_cost = base_cost_;

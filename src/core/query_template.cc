@@ -85,7 +85,13 @@ void TemplateStore::EvictLowestFrequency() {
 void TemplateStore::Decay(double factor, double min_frequency) {
   for (auto it = templates_.begin(); it != templates_.end();) {
     it->second->frequency *= factor;
-    if (it->second->frequency < min_frequency) {
+    // A template observed in the current round is live no matter how low
+    // decay pushed its accumulated frequency — erasing it would drop a
+    // query shape the workload is actively sending (it was typically
+    // created this round with frequency 1.0, which one aggressive decay
+    // immediately puts under the floor).
+    if (it->second->frequency < min_frequency &&
+        it->second->last_seen_round != round_) {
       it = templates_.erase(it);
     } else {
       ++it;

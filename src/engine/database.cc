@@ -5,9 +5,40 @@
 
 #include "engine/durability.h"
 #include "engine/session.h"
+#include "util/metrics.h"
 
 namespace autoindex {
 namespace {
+
+// Engine-level observability (DESIGN.md §11): statement throughput and
+// end-to-end latency (latch wait + execution + WAL append), plus the
+// online index build's per-phase durations.
+struct EngineMetrics {
+  util::Counter* statements;
+  util::Counter* statement_failures;
+  util::LatencyHistogram* statement_us;
+  util::Counter* index_builds;
+  util::LatencyHistogram* build_scan_us;
+  util::LatencyHistogram* build_catchup_us;
+  util::LatencyHistogram* build_publish_us;
+  util::LatencyHistogram* build_total_us;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics metrics = [] {
+      auto& registry = util::MetricsRegistry::Default();
+      return EngineMetrics{
+          registry.GetCounter("engine.statements"),
+          registry.GetCounter("engine.statement_failures"),
+          registry.GetHistogram("engine.statement_us"),
+          registry.GetCounter("index.builds"),
+          registry.GetHistogram("index.build.scan_us"),
+          registry.GetHistogram("index.build.catchup_us"),
+          registry.GetHistogram("index.build.publish_us"),
+          registry.GetHistogram("index.build.total_us")};
+    }();
+    return metrics;
+  }
+};
 
 // The latch set of one statement: shared on every FROM table for SELECT,
 // exclusive on the target table for writes. Derived up front so the whole
@@ -113,18 +144,25 @@ Status Database::CreateIndex(const IndexDef& def) {
   BuiltIndex* build = nullptr;
   HeapTable* table = nullptr;
   size_t snapshot_slots = 0;
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  util::ScopedTimer total_timer(metrics.build_total_us);
+  util::Stopwatch phase_watch{util::Stopwatch::DeferStart{}};
   {
     // Phase 0 — registration, brief exclusive window: the slot horizon
     // and the delta routing switch on atomically. Every writer that runs
     // after this latch drops feeds the build's side delta.
     LatchManager::Guard guard = latches_.AcquireExclusive(def.table);
     StatusOr<BuiltIndex*> begun = index_manager_->BeginBuild(def);
-    if (!begun.ok()) return begun.status();
+    if (!begun.ok()) {
+      total_timer.Cancel();
+      return begun.status();
+    }
     build = *begun;
     table = catalog_->GetTable(def.table);
     snapshot_slots = table->num_slots();
   }
   FireIndexBuildHook(IndexBuildPhase::kRegistered);
+  phase_watch.Restart();
   // Phase 1 — snapshot scan in chunks under *shared* latches, so writers
   // interleave between chunks. Only slots below the registration horizon
   // are scanned: RowIds are never reused, so every later insert has a
@@ -137,7 +175,9 @@ Status Database::CreateIndex(const IndexDef& def) {
       if (table->IsLive(rid)) build->BuildInsert(table->Get(rid), rid);
     }
   }
+  metrics.build_scan_us->Record(phase_watch.ElapsedUs());
   FireIndexBuildHook(IndexBuildPhase::kScanned);
+  phase_watch.Restart();
   // Phase 2 — delta catch-up. Free-running rounds first (no latch: the
   // buffered ops carry their row images, writers keep appending under the
   // build's own delta mutex, and the trees are builder-private until
@@ -161,7 +201,9 @@ Status Database::CreateIndex(const IndexDef& def) {
     LatchManager::Guard guard = latches_.AcquireShared({def.table});
     build->ApplyDeltaBatch(kBuildCatchupBatch);
   }
+  metrics.build_catchup_us->Record(phase_watch.ElapsedUs());
   FireIndexBuildHook(IndexBuildPhase::kCaughtUp);
+  phase_watch.Restart();
   // Phase 3 — publish, brief exclusive window: drain the final delta,
   // append the WAL create record (only now — a crash mid-build must
   // recover to "index absent"), and flip the index to kReady. Any failure
@@ -181,7 +223,12 @@ Status Database::CreateIndex(const IndexDef& def) {
       (void)index_manager_->AbortBuild(key);
     }
   }
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    total_timer.Cancel();  // aborted builds stay out of the phase series
+    return s;
+  }
+  metrics.build_publish_us->Record(phase_watch.ElapsedUs());
+  metrics.index_builds->Add();
   FireIndexBuildHook(IndexBuildPhase::kPublished);
   return RunInvariantHook();
 }
@@ -230,6 +277,10 @@ StatusOr<ExecResult> Database::Execute(const Statement& stmt) {
 
 StatusOr<ExecResult> Database::ExecuteOn(Executor* executor,
                                          const Statement& stmt) {
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.statements->Add();
+  // End-to-end statement latency: latch wait + execution + WAL append.
+  util::ScopedTimer statement_timer(metrics.statement_us);
   LatchManager::Guard guard = latches_.Acquire(StatementLatches(stmt));
   StatusOr<ExecResult> result = executor->Execute(stmt);
   if (result.ok() && stmt.IsWrite()) {
@@ -247,6 +298,7 @@ StatusOr<ExecResult> Database::ExecuteOn(Executor* executor,
   // one sorted acquisition, and acquiring more tables while still holding
   // this statement's set could break the global lock order.
   guard.Release();
+  if (!result.ok()) metrics.statement_failures->Add();
   if (result.ok() && stmt.IsWrite() && debug_checks_enabled()) {
     Status s = RunInvariantHook();
     if (!s.ok()) return s;
@@ -291,6 +343,15 @@ void Database::Analyze(const std::string& table) {
   (void)CommitDurable([&](DurabilityLog* log, uint64_t version) {
     return log->AppendAnalyze(table, version);
   });
+}
+
+std::vector<util::MetricsRegistry::MetricValue> Database::MetricsSnapshot(
+    const std::string& prefix) const {
+  return util::MetricsRegistry::Default().Snapshot(prefix);
+}
+
+std::string Database::RenderMetricsText(const std::string& prefix) const {
+  return util::MetricsRegistry::Default().RenderText(prefix);
 }
 
 IndexConfig Database::CurrentConfig() const {

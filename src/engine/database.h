@@ -14,6 +14,7 @@
 #include "stats/stats_manager.h"
 #include "storage/catalog.h"
 #include "storage/latch_manager.h"
+#include "util/metrics.h"
 #include "util/mutex.h"
 
 namespace autoindex {
@@ -170,6 +171,15 @@ class Database {
   // Internal: a fresh executor wired to this database's feedback fan-in
   // (Session construction).
   std::unique_ptr<Executor> MakeSessionExecutor();
+
+  // --- Observability (DESIGN.md §11) ---
+  // Point-in-time view of the process-wide metrics registry, filtered to
+  // names starting with `prefix` (all when empty). Counters/histograms
+  // are process-global: two Database instances in one process share them.
+  std::vector<util::MetricsRegistry::MetricValue> MetricsSnapshot(
+      const std::string& prefix = {}) const;
+  // Prometheus-style text exposition of the same view.
+  std::string RenderMetricsText(const std::string& prefix = {}) const;
 
   // --- Introspection ---
   Executor& executor() { return *executor_; }

@@ -3,7 +3,59 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/metrics.h"
+#include "util/string_util.h"
+
 namespace autoindex {
+namespace {
+
+// Executor observability (DESIGN.md §11): statement totals plus a
+// per-operator-type breakdown walked off the plan snapshot each
+// statement leaves behind.
+struct ExecutorMetrics {
+  util::Counter* statements;
+  util::Counter* rows_returned;
+  util::Counter* heap_pages_read;
+  util::Counter* index_pages_read;
+  util::Counter* tuples_examined;
+  util::Counter* index_tuples_read;
+
+  static const ExecutorMetrics& Get() {
+    static const ExecutorMetrics metrics = [] {
+      auto& registry = util::MetricsRegistry::Default();
+      return ExecutorMetrics{
+          registry.GetCounter("executor.statements"),
+          registry.GetCounter("executor.rows_returned"),
+          registry.GetCounter("executor.heap_pages_read"),
+          registry.GetCounter("executor.index_pages_read"),
+          registry.GetCounter("executor.tuples_examined"),
+          registry.GetCounter("executor.index_tuples_read")};
+    }();
+    return metrics;
+  }
+};
+
+uint64_t NonNegative(int64_t v) {
+  return v > 0 ? static_cast<uint64_t>(v) : 0;
+}
+
+// Per-operator-type series: executor.op.<name>.{invocations,rows_out,
+// pages_read}. Operator names are a small closed set, so the registry
+// lookups hit existing entries after the first statement of each shape.
+void RecordOperatorMetrics(const PlanNodeSnapshot& node) {
+  auto& registry = util::MetricsRegistry::Default();
+  const std::string base = StrCat("executor.op.", ToLower(node.op), ".");
+  registry.GetCounter(base + "invocations")->Add();
+  registry.GetCounter(base + "rows_out")->Add(NonNegative(node.actual.rows_out));
+  registry.GetCounter(base + "pages_read")
+      ->Add(NonNegative(node.actual.heap_pages_read) +
+            NonNegative(node.actual.index_pages_read));
+  for (const PlanNodeSnapshot& child : node.children) {
+    RecordOperatorMetrics(child);
+  }
+}
+
+}  // namespace
 
 std::vector<IndexStatsView> Executor::BuiltConfig(
     const std::string& table) const {
@@ -39,6 +91,16 @@ StatusOr<ExecResult> Executor::Execute(const Statement& stmt) {
 void Executor::FinishStatement(const ExecResult& result) {
   last_plan_ = result.plan;
   last_plan_stats_ = result.stats;
+  if constexpr (util::kMetricsEnabled) {
+    const ExecutorMetrics& metrics = ExecutorMetrics::Get();
+    metrics.statements->Add();
+    metrics.rows_returned->Add(result.stats.rows_returned);
+    metrics.heap_pages_read->Add(result.stats.heap_pages_read);
+    metrics.index_pages_read->Add(result.stats.index_pages_read);
+    metrics.tuples_examined->Add(result.stats.tuples_examined);
+    metrics.index_tuples_read->Add(result.stats.index_tuples_read);
+    if (result.plan.has_value()) RecordOperatorMetrics(*result.plan);
+  }
   if (feedback_hook_ && !result.feedback.empty()) {
     feedback_hook_(result.feedback);
   }

@@ -2,10 +2,30 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace autoindex {
 namespace {
+
+// Online-build delta observability (DESIGN.md §11): buffered vs applied
+// ops plus the instantaneous backlog depth — the signal that a write
+// storm is outrunning the catch-up drain.
+struct DeltaMetrics {
+  util::Counter* buffered;
+  util::Counter* applied;
+  util::Gauge* backlog;
+
+  static const DeltaMetrics& Get() {
+    static const DeltaMetrics metrics = [] {
+      auto& registry = util::MetricsRegistry::Default();
+      return DeltaMetrics{registry.GetCounter("index.delta.buffered"),
+                          registry.GetCounter("index.delta.applied"),
+                          registry.GetGauge("index.build.delta_backlog")};
+    }();
+    return metrics;
+  }
+};
 
 // Global indexes over partitioned tables carry a partition pointer per
 // entry (the reason they cost more space than local indexes).
@@ -95,6 +115,8 @@ void BuiltIndex::InsertEntry(const Row& full_row, RowId rid) {
   if (state() == IndexState::kBuilding) {
     util::MutexLock lock(delta_mu_);
     delta_.push_back(DeltaOp{DeltaOp::Kind::kInsert, full_row, rid});
+    DeltaMetrics::Get().buffered->Add();
+    DeltaMetrics::Get().backlog->Set(static_cast<int64_t>(delta_.size()));
     return;
   }
   TreeInsert(full_row, rid);
@@ -104,6 +126,8 @@ bool BuiltIndex::DeleteEntry(const Row& full_row, RowId rid) {
   if (state() == IndexState::kBuilding) {
     util::MutexLock lock(delta_mu_);
     delta_.push_back(DeltaOp{DeltaOp::Kind::kDelete, full_row, rid});
+    DeltaMetrics::Get().buffered->Add();
+    DeltaMetrics::Get().backlog->Set(static_cast<int64_t>(delta_.size()));
     return true;  // the buffered op settles it at apply time
   }
   return TreeDelete(full_row, rid);
@@ -123,6 +147,8 @@ size_t BuiltIndex::ApplyDeltaBatch(size_t max_ops) {
       batch.push_back(std::move(delta_.front()));
       delta_.pop_front();
     }
+    DeltaMetrics::Get().applied->Add(take);
+    DeltaMetrics::Get().backlog->Set(static_cast<int64_t>(delta_.size()));
   }
   // Applied outside delta_mu_: while kBuilding only the builder thread
   // touches the trees (writers buffer; readers never see the index).

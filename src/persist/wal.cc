@@ -10,11 +10,34 @@
 #include "persist/io.h"
 #include "persist/serde.h"
 #include "persist/sql_serde.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace autoindex {
 namespace persist {
 namespace {
+
+// WAL observability series (DESIGN.md §11): append/fsync latency is the
+// durability tax every committed write pays.
+struct WalMetrics {
+  util::Counter* appends;
+  util::Counter* append_bytes;
+  util::LatencyHistogram* append_us;
+  util::Counter* fsyncs;
+  util::LatencyHistogram* fsync_us;
+
+  static const WalMetrics& Get() {
+    static const WalMetrics metrics = [] {
+      auto& registry = util::MetricsRegistry::Default();
+      return WalMetrics{registry.GetCounter("wal.appends"),
+                        registry.GetCounter("wal.append_bytes"),
+                        registry.GetHistogram("wal.append_us"),
+                        registry.GetCounter("wal.fsyncs"),
+                        registry.GetHistogram("wal.fsync_us")};
+    }();
+    return metrics;
+  }
+};
 
 constexpr char kWalMagic[] = "AIXWAL01";
 constexpr uint32_t kWalVersion = 1;
@@ -200,25 +223,34 @@ StatusOr<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
 
 Status Wal::AppendRecord(const WalRecord& record) {
   if (fd_ < 0) return Status::Internal("WAL is not open");
+  util::ScopedTimer append_timer(WalMetrics::Get().append_us);
   const std::string payload = SerializePayload(record);
   Writer frame;
   frame.PutU32(static_cast<uint32_t>(payload.size()));
   frame.PutU32(Crc32(payload.data(), payload.size()));
   frame.PutBytes(payload.data(), payload.size());
   Status s = CrashCheckedWrite(fd_, frame.buffer().data(), frame.size());
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    append_timer.Cancel();  // failed writes would skew the latency series
+    return s;
+  }
   size_bytes_ += frame.size();
   ++records_appended_;
+  WalMetrics::Get().appends->Add();
+  WalMetrics::Get().append_bytes->Add(frame.size());
   if (options_.fsync_each_append) return Sync();
   return Status::Ok();
 }
 
 Status Wal::Sync() {
   if (fd_ < 0) return Status::Internal("WAL is not open");
+  util::ScopedTimer fsync_timer(WalMetrics::Get().fsync_us);
   if (::fsync(fd_) != 0) {
+    fsync_timer.Cancel();
     return Status::Internal(
         StrCat("fsync failed for ", path_, ": ", std::strerror(errno)));
   }
+  WalMetrics::Get().fsyncs->Add();
   return Status::Ok();
 }
 

@@ -109,23 +109,44 @@ double ColumnStats::EqSelectivity() const {
 
 double ColumnStats::Selectivity(CompareOp op, const Value& v) const {
   if (num_rows_ == 0) return 0.0;
+  // SQL three-valued logic: `col <op> NULL` is UNKNOWN for every row, and
+  // UNKNOWN never satisfies a WHERE clause.
+  if (v.is_null()) return 0.0;
   const double non_null_frac =
       static_cast<double>(num_rows_ - num_nulls_) / num_rows_;
+  // Provably-out-of-range literals: the min/max from ANALYZE bound every
+  // stored value, so comparisons resolve exactly instead of falling back
+  // to histogram fractions (which credit EqSelectivity to values that
+  // cannot exist — the planner then keeps picking an index scan that will
+  // match nothing, or vice versa).
+  const bool below_min = v.Compare(min_) < 0;
+  const bool above_max = v.Compare(max_) > 0;
+  const bool at_or_below_min = v.Compare(min_) <= 0;
+  const bool at_or_above_max = v.Compare(max_) >= 0;
   switch (op) {
     case CompareOp::kEq:
-      if (v.Compare(min_) < 0 || v.Compare(max_) > 0) return 0.0;
+      if (below_min || above_max) return 0.0;
       return EqSelectivity() * non_null_frac;
     case CompareOp::kNe:
+      if (below_min || above_max) return non_null_frac;
       return (1.0 - EqSelectivity()) * non_null_frac;
     case CompareOp::kLt:
+      if (at_or_below_min) return 0.0;
+      if (above_max) return non_null_frac;
       return FractionBelow(v) * non_null_frac;
     case CompareOp::kLe:
+      if (below_min) return 0.0;
+      if (at_or_above_max) return non_null_frac;
       return std::min(1.0, FractionBelow(v) + EqSelectivity()) *
              non_null_frac;
     case CompareOp::kGt:
+      if (at_or_above_max) return 0.0;
+      if (below_min) return non_null_frac;
       return (1.0 - std::min(1.0, FractionBelow(v) + EqSelectivity())) *
              non_null_frac;
     case CompareOp::kGe:
+      if (above_max) return 0.0;
+      if (at_or_below_min) return non_null_frac;
       return (1.0 - FractionBelow(v)) * non_null_frac;
     case CompareOp::kLike:
       // Leading-wildcard-free patterns behave like a narrow range; use a
@@ -137,7 +158,12 @@ double ColumnStats::Selectivity(CompareOp op, const Value& v) const {
 
 double ColumnStats::RangeSelectivity(const Value& lo, const Value& hi) const {
   if (num_rows_ == 0) return 0.0;
+  if (lo.is_null() || hi.is_null()) return 0.0;
   if (hi.Compare(lo) < 0) return 0.0;
+  // Disjoint ranges: entirely below min or above max matches nothing
+  // (without this, EqSelectivity leaks into below_hi and a range that
+  // can't match anything still estimates > 0).
+  if (hi.Compare(min_) < 0 || lo.Compare(max_) > 0) return 0.0;
   const double non_null_frac =
       static_cast<double>(num_rows_ - num_nulls_) / num_rows_;
   const double below_hi = std::min(1.0, FractionBelow(hi) + EqSelectivity());

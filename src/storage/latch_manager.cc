@@ -7,12 +7,41 @@
 #include "util/string_util.h"
 
 namespace autoindex {
+namespace {
+
+// Latch observability series (DESIGN.md §11). Resolved once; the
+// registry hands out stable pointers, so the statics stay valid for the
+// process lifetime.
+struct LatchMetrics {
+  util::Counter* acquisitions;
+  util::Counter* contended;
+  util::LatencyHistogram* wait_us;
+  util::LatencyHistogram* hold_us;
+
+  static const LatchMetrics& Get() {
+    static const LatchMetrics metrics = [] {
+      auto& registry = util::MetricsRegistry::Default();
+      return LatchMetrics{registry.GetCounter("latch.acquisitions"),
+                          registry.GetCounter("latch.contended"),
+                          registry.GetHistogram("latch.wait_us"),
+                          registry.GetHistogram("latch.hold_us")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 void LatchManager::Guard::Release() {
   if (manager_ == nullptr || held_.empty()) {
     manager_ = nullptr;
     held_.clear();
     return;
+  }
+  // One hold-time sample per acquisition batch (the statement-visible
+  // critical-section length, not per-table).
+  if constexpr (util::kMetricsEnabled) {
+    LatchMetrics::Get().hold_us->Record(hold_watch_.ElapsedUs());
   }
   const std::thread::id tid = std::this_thread::get_id();
   bool wake = false;
@@ -107,6 +136,8 @@ LatchManager::Guard LatchManager::Acquire(
         // The map entry stays pinned while waiting_writers > 0 (Release
         // only erases latches nobody holds or waits on), so `info` stays
         // a valid reference across the waits.
+        LatchMetrics::Get().contended->Add();
+        util::ScopedTimer wait_timer(LatchMetrics::Get().wait_us);
         ++info.waiting_writers;
         ++waiters_;
         do {
@@ -120,6 +151,8 @@ LatchManager::Guard LatchManager::Acquire(
       // Writer preference: a new reader also waits for queued writers so
       // a steady reader stream cannot starve index builds / updates.
       if (!SharedAdmissibleLocked(r.table)) {
+        LatchMetrics::Get().contended->Add();
+        util::ScopedTimer wait_timer(LatchMetrics::Get().wait_us);
         ++waiters_;
         do {
           cv_.Wait(mu_);
@@ -131,6 +164,7 @@ LatchManager::Guard LatchManager::Acquire(
     held_by_thread_[tid].emplace_back(r.table, r.mode);
     acquired.emplace_back(r.table, r.mode);
     ++total_acquisitions_;
+    LatchMetrics::Get().acquisitions->Add();
   }
   return Guard(this, std::move(acquired));
 }

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/metrics.h"
 #include "util/mutex.h"
 
 namespace autoindex {
@@ -49,7 +50,9 @@ class LatchManager {
    public:
     Guard() = default;
     Guard(Guard&& other) noexcept
-        : manager_(other.manager_), held_(std::move(other.held_)) {
+        : manager_(other.manager_),
+          held_(std::move(other.held_)),
+          hold_watch_(other.hold_watch_) {
       other.manager_ = nullptr;
       other.held_.clear();
     }
@@ -58,6 +61,7 @@ class LatchManager {
         Release();
         manager_ = other.manager_;
         held_ = std::move(other.held_);
+        hold_watch_ = other.hold_watch_;
         other.manager_ = nullptr;
         other.held_.clear();
       }
@@ -80,10 +84,18 @@ class LatchManager {
     friend class LatchManager;
     Guard(LatchManager* manager,
           std::vector<std::pair<std::string, LatchMode>> held)
-        : manager_(manager), held_(std::move(held)) {}
+        : manager_(manager), held_(std::move(held)) {
+      // Hold-time accounting starts once the whole batch is granted;
+      // compiled-out metrics skip the clock read.
+      if constexpr (util::kMetricsEnabled) {
+        if (!held_.empty()) hold_watch_.Restart();
+      }
+    }
 
     LatchManager* manager_ = nullptr;
     std::vector<std::pair<std::string, LatchMode>> held_;
+    // Armed only for guards that actually acquired something.
+    util::Stopwatch hold_watch_{util::Stopwatch::DeferStart{}};
   };
 
   LatchManager() = default;

@@ -55,15 +55,48 @@ double ElapsedMs(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+uint64_t DurationUs(std::chrono::steady_clock::duration d) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  return us < 0 ? 0 : static_cast<uint64_t>(us);
+}
+
+// Shared latency sinks for one replay: every client thread records into
+// the same pair (LatencyHistogram is sharded and lock-free by design).
+struct LatencySinks {
+  util::LatencyHistogram service;
+  util::LatencyHistogram response;
+};
+
 // One client thread: replay an interleaved slice of the trace through a
 // private Session, feed the observation queue.
 void ClientLoop(Database* db, const std::vector<std::string>& queries,
-                size_t offset, size_t stride, ObservationQueue* observations,
-                ClientMetrics* metrics) {
+                size_t offset, size_t stride, int pace_us,
+                ObservationQueue* observations, ClientMetrics* metrics,
+                LatencySinks* sinks) {
   const auto start = std::chrono::steady_clock::now();
   std::unique_ptr<Session> session = db->CreateSession();
   for (size_t i = offset; i < queries.size(); i += stride) {
+    // Open loop: trace position i is *scheduled* at start + i*pace_us
+    // regardless of how long earlier queries took. Sleep if we are ahead
+    // of schedule; if we are behind (the server stalled), issue
+    // immediately — and charge the wait to response time below. Measuring
+    // from the schedule instead of the issue instant is the
+    // coordinated-omission fix: every query queued behind a stall pays
+    // for it, exactly as an independently-arriving client would.
+    auto scheduled = std::chrono::steady_clock::time_point{};
+    if (pace_us > 0) {
+      scheduled = start + std::chrono::microseconds(
+                              static_cast<int64_t>(i) * pace_us);
+      std::this_thread::sleep_until(scheduled);
+    }
+    const auto issue = std::chrono::steady_clock::now();
+    if (pace_us <= 0) scheduled = issue;  // closed loop: no schedule
+
     StatusOr<ExecResult> result = session->Execute(queries[i]);
+    const auto end = std::chrono::steady_clock::now();
+    sinks->service.Record(DurationUs(end - issue));
+    sinks->response.Record(DurationUs(end - scheduled));
     ++metrics->queries;
     if (!result.ok()) {
       ++metrics->failed;
@@ -98,6 +131,7 @@ DriverReport RunConcurrentWorkload(AutoIndexManager* manager,
   DriverReport report;
   report.clients.resize(num_clients);
   ObservationQueue observations;
+  LatencySinks sinks;
   const auto start = std::chrono::steady_clock::now();
 
   // Tuning thread: the ONLY thread that touches the template store and
@@ -128,14 +162,17 @@ DriverReport RunConcurrentWorkload(AutoIndexManager* manager,
   clients.reserve(num_clients);
   for (size_t tid = 0; tid < num_clients; ++tid) {
     clients.emplace_back(ClientLoop, db, std::cref(queries), tid, num_clients,
+                         config.pace_us,
                          config.background_tuning ? &observations : nullptr,
-                         &report.clients[tid]);
+                         &report.clients[tid], &sinks);
   }
   for (std::thread& t : clients) t.join();
   observations.Close();
   if (tuner.joinable()) tuner.join();
 
   report.wall_ms = ElapsedMs(start);
+  report.service_latency = sinks.service.Snapshot();
+  report.response_latency = sinks.response.Snapshot();
   return report;
 }
 
@@ -143,9 +180,13 @@ DriverReport RunSequentialWorkload(Database* db,
                                    const std::vector<std::string>& queries) {
   DriverReport report;
   report.clients.resize(1);
+  LatencySinks sinks;
   const auto start = std::chrono::steady_clock::now();
-  ClientLoop(db, queries, 0, 1, nullptr, &report.clients[0]);
+  ClientLoop(db, queries, 0, 1, /*pace_us=*/0, nullptr, &report.clients[0],
+             &sinks);
   report.wall_ms = ElapsedMs(start);
+  report.service_latency = sinks.service.Snapshot();
+  report.response_latency = sinks.response.Snapshot();
   return report;
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/manager.h"
 #include "engine/database.h"
+#include "util/metrics.h"
 
 namespace autoindex {
 
@@ -23,6 +24,14 @@ struct DriverConfig {
   size_t tuning_batch = 200;
   // Upper bound on management rounds (a safety valve for short traces).
   size_t max_tuning_rounds = 8;
+  // Global intended inter-arrival time in microseconds. 0 replays closed
+  // loop (each client issues as fast as the server answers); > 0 replays
+  // open loop: query i of the trace is *scheduled* at start + i*pace_us,
+  // and response time is measured from that schedule, not from when the
+  // client finally got around to issuing it. The difference is the
+  // coordinated-omission correction: a closed-loop measurement silently
+  // excuses every query that queued behind a stall.
+  int pace_us = 0;
 };
 
 // What one client thread saw. Cost-unit latency/throughput definitions
@@ -49,6 +58,15 @@ struct DriverReport {
   size_t indexes_added = 0;
   size_t indexes_removed = 0;
   double wall_ms = 0.0;  // end-to-end (slowest client + drain)
+  // Wall-clock latency distributions across every query of every client.
+  // service_latency measures issue→completion (what the server did);
+  // response_latency measures intended-start→completion (what a client
+  // arriving on the trace's schedule experienced). Closed loop
+  // (pace_us == 0) has no schedule, so the two are identical; open loop
+  // under a stall drives response far above service. Empty when built
+  // with AUTOINDEX_METRICS=OFF.
+  util::HistogramSnapshot service_latency;
+  util::HistogramSnapshot response_latency;
 
   // Sum over clients (wall_ms = the report's end-to-end time).
   ClientMetrics Aggregate() const;

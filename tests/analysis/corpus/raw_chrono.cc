@@ -1,0 +1,36 @@
+// raw-chrono-metric fixture: naked chrono clock reads outside the
+// sanctioned timing modules (src/util/metrics.*, src/workload/, bench/).
+
+#include <chrono>
+
+namespace corpus {
+
+double AdHocTimingMs() {
+  const auto start = std::chrono::steady_clock::now();  // lint:expect(raw-chrono-metric)
+  volatile int sink = 0;
+  for (int i = 0; i < 100; ++i) sink = sink + i;
+  const auto end =
+      std::chrono::steady_clock::now();  // lint:expect(raw-chrono-metric)
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+long WallClockStamp() {
+  using std::chrono::system_clock;
+  return system_clock::now()  // lint:expect(raw-chrono-metric)
+      .time_since_epoch()
+      .count();
+}
+
+long HighResStamp() {
+  return std::chrono::high_resolution_clock::now()  // lint:expect(raw-chrono-metric)
+      .time_since_epoch()
+      .count();
+}
+
+// steady_clock::time_point as a type (no ::now() call) is fine — only the
+// clock *read* is restricted.
+std::chrono::steady_clock::time_point ZeroPoint() {
+  return std::chrono::steady_clock::time_point{};
+}
+
+}  // namespace corpus

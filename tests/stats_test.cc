@@ -74,6 +74,70 @@ TEST_F(StatsTest, BoundaryBehaviour) {
               0.01);
 }
 
+// Provably-out-of-range literals resolve exactly from min/max instead of
+// leaking EqSelectivity / histogram fractions. The mod10 column holds
+// 0..9 with no nulls, so each predicate below has a known exact answer.
+TEST_F(StatsTest, OutOfRangeLiteralsResolveExactly) {
+  const ColumnStats mod10 = ColumnStats::Build(*catalog_.GetTable("t"), 1);
+  // Equality against values outside [0, 9] matches nothing.
+  EXPECT_DOUBLE_EQ(mod10.Selectivity(CompareOp::kEq, Value(int64_t(-1))),
+                   0.0);
+  EXPECT_DOUBLE_EQ(mod10.Selectivity(CompareOp::kEq, Value(int64_t(10))),
+                   0.0);
+  // ... and their negation matches every non-null row.
+  EXPECT_DOUBLE_EQ(mod10.Selectivity(CompareOp::kNe, Value(int64_t(-1))),
+                   1.0);
+  EXPECT_DOUBLE_EQ(mod10.Selectivity(CompareOp::kNe, Value(int64_t(99))),
+                   1.0);
+  // col <= v for v below min matches nothing; at/above max, everything.
+  EXPECT_DOUBLE_EQ(mod10.Selectivity(CompareOp::kLe, Value(int64_t(-1))),
+                   0.0);
+  EXPECT_DOUBLE_EQ(mod10.Selectivity(CompareOp::kLe, Value(int64_t(9))),
+                   1.0);
+  EXPECT_DOUBLE_EQ(mod10.Selectivity(CompareOp::kLe, Value(int64_t(50))),
+                   1.0);
+  // col > v at/above max matches nothing; below min, everything.
+  EXPECT_DOUBLE_EQ(mod10.Selectivity(CompareOp::kGt, Value(int64_t(9))),
+                   0.0);
+  EXPECT_DOUBLE_EQ(mod10.Selectivity(CompareOp::kGt, Value(int64_t(-5))),
+                   1.0);
+  // col < v above max matches everything; col >= v below min likewise.
+  EXPECT_DOUBLE_EQ(mod10.Selectivity(CompareOp::kLt, Value(int64_t(42))),
+                   1.0);
+  EXPECT_DOUBLE_EQ(mod10.Selectivity(CompareOp::kGe, Value(int64_t(-3))),
+                   1.0);
+}
+
+TEST_F(StatsTest, OutOfRangeScalesByNullFraction) {
+  // Column n is null for every 5th row: out-of-range kNe/kLt answers must
+  // exclude the null fifth, not report 1.0.
+  const ColumnStats n = ColumnStats::Build(*catalog_.GetTable("t"), 3);
+  EXPECT_NEAR(n.Selectivity(CompareOp::kNe, Value(int64_t(-1))), 0.8, 1e-9);
+  EXPECT_NEAR(n.Selectivity(CompareOp::kLt, Value(int64_t(999999))), 0.8,
+              1e-9);
+}
+
+TEST_F(StatsTest, NullLiteralNeverMatches) {
+  // `col <op> NULL` is UNKNOWN for every row under three-valued logic.
+  const ColumnStats mod10 = ColumnStats::Build(*catalog_.GetTable("t"), 1);
+  EXPECT_DOUBLE_EQ(mod10.Selectivity(CompareOp::kEq, Value()), 0.0);
+  EXPECT_DOUBLE_EQ(mod10.Selectivity(CompareOp::kNe, Value()), 0.0);
+  EXPECT_DOUBLE_EQ(mod10.Selectivity(CompareOp::kGe, Value()), 0.0);
+  EXPECT_DOUBLE_EQ(mod10.RangeSelectivity(Value(), Value(int64_t(5))), 0.0);
+}
+
+TEST_F(StatsTest, DisjointRangeSelectivityIsZero) {
+  const ColumnStats mod10 = ColumnStats::Build(*catalog_.GetTable("t"), 1);
+  // Entirely above max / below min: no overlap with [0, 9].
+  EXPECT_DOUBLE_EQ(
+      mod10.RangeSelectivity(Value(int64_t(20)), Value(int64_t(30))), 0.0);
+  EXPECT_DOUBLE_EQ(
+      mod10.RangeSelectivity(Value(int64_t(-30)), Value(int64_t(-20))), 0.0);
+  // Sanity: an overlapping range still estimates > 0.
+  EXPECT_GT(mod10.RangeSelectivity(Value(int64_t(2)), Value(int64_t(4))),
+            0.0);
+}
+
 TEST_F(StatsTest, InListSelectivityAdds) {
   const ColumnStats mod10 = ColumnStats::Build(*catalog_.GetTable("t"), 1);
   const double sel = mod10.InListSelectivity(

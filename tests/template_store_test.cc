@@ -71,10 +71,36 @@ TEST(TemplateStore, DecayShrinksAndEvicts) {
   for (int i = 0; i < 8; ++i) store.Observe("SELECT a FROM t WHERE a = 1");
   store.Observe("SELECT b FROM t WHERE b = 1");
   EXPECT_EQ(store.size(), 2u);
+  // Make both templates stale (eviction only touches templates not seen
+  // in the current round).
+  store.AdvanceRound();
   store.Decay(0.5, /*min_frequency=*/0.6);
   // A: 8 -> 4 survives; B: 1 -> 0.5 evicted.
   EXPECT_EQ(store.size(), 1u);
   EXPECT_DOUBLE_EQ(store.TemplatesByFrequency()[0]->frequency, 4.0);
+}
+
+// Regression: Decay used to erase templates the workload is actively
+// sending. A template first seen in the current round starts at frequency
+// 1.0, so one aggressive decay put it under the floor and dropped it even
+// though it had just arrived — the tuner then never saw the new workload
+// shape. Templates with last_seen_round == current round must survive
+// regardless of decayed frequency.
+TEST(TemplateStore, DecayKeepsTemplatesSeenThisRound) {
+  TemplateStore store(10);
+  // Stale: seen only in round 0.
+  store.Observe("SELECT a FROM t WHERE a = 1");
+  store.AdvanceRound();
+  // Live: first seen in the current round.
+  store.Observe("SELECT b FROM t WHERE b = 1");
+  ASSERT_EQ(store.size(), 2u);
+  // 0.25 pushes both frequencies (1.0 -> 0.25) under the floor; only the
+  // stale one may go.
+  store.Decay(0.25, /*min_frequency=*/0.6);
+  auto templates = store.TemplatesByFrequency();
+  ASSERT_EQ(templates.size(), 1u);
+  EXPECT_EQ(templates[0]->last_seen_round, store.round());
+  EXPECT_NE(templates[0]->fingerprint.find("SELECT b"), std::string::npos);
 }
 
 TEST(TemplateStore, MatchRateSignalsDrift) {
