@@ -4,16 +4,23 @@
 // throughput/latency plus a single-threaded baseline so the latching
 // overhead on the sequential path is visible.
 //
-// Usage: bench_concurrent [--short] [client_threads] [queries]
+// Usage: bench_concurrent [--short] [--connect host:port] [client_threads]
+//        [queries]
 // This is the binary the TSan acceptance gate runs (scripts/check.sh);
 // `--short` is the reduced trace the metrics-overhead gate times (it
 // compares TOTAL_WALL_MS between AUTOINDEX_METRICS=ON and OFF builds).
+// `--connect` replays the TPC-C trace against a running autoindex_server
+// (started with --workload tpcc) over loopback TCP instead of in-process,
+// with open-loop pacing so the service vs response latency split shows
+// real queueing delay; the net e2e stage in check.sh runs this mode.
 
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "check/validator.h"
+#include "net/socket.h"
 #include "util/metrics.h"
 #include "workload/banking.h"
 #include "workload/driver.h"
@@ -96,6 +103,42 @@ void RunTpcc(int threads, size_t num_queries) {
   RequireClean(db);
 }
 
+// Remote replay: the server owns the database (populate it with
+// `autoindex_server --workload tpcc`); we only generate the same trace and
+// drive it over TCP. Open-loop pacing (pace_us) makes the coordinated-
+// omission split visible: response latency charges queueing behind slow
+// statements to every statement that waited, service latency does not.
+int RunRemote(const std::string& spec, int threads, size_t num_queries) {
+  std::string host;
+  int port = 0;
+  const Status parsed = net::ParseHostPort(spec, &host, &port);
+  if (!parsed.ok()) {
+    std::printf("bad --connect argument: %s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  bench::PrintHeader("Remote TPC-C replay (TCP loopback, open loop)");
+  const TpccConfig config;
+  const std::vector<std::string> trace =
+      TpccWorkload::Generate(config, num_queries, /*seed=*/7);
+
+  DriverConfig driver;
+  driver.client_threads = threads;
+  driver.background_tuning = false;  // tuning (if any) is server-side
+  driver.pace_us = 300;              // open loop: ~3.3k statements/s offered
+  std::printf("%d remote clients -> %s:%d, pace %d us:\n", threads,
+              host.c_str(), port, driver.pace_us);
+  const DriverReport report = RunRemoteWorkload(host, port, trace, driver);
+  PrintClientRows(report);
+
+  const ClientMetrics total = report.Aggregate();
+  if (total.queries == 0 || total.failed == total.queries) {
+    std::printf("REMOTE REPLAY FAILED (%zu/%zu failed)\n", total.failed,
+                total.queries);
+    return 1;
+  }
+  return 0;
+}
+
 void RunBanking(int threads, size_t num_queries) {
   bench::PrintHeader("Concurrent banking replay (hybrid OLTP + OLAP)");
   BankingConfig config;
@@ -124,6 +167,7 @@ void RunBanking(int threads, size_t num_queries) {
 int main(int argc, char** argv) {
   int threads = 4;
   size_t queries = 1200;
+  std::string connect;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--short") == 0) {
@@ -131,6 +175,8 @@ int main(int argc, char** argv) {
       // exercise every instrumented path, short enough to run min-of-N.
       threads = 2;
       queries = 300;
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect = argv[++i];
     } else if (positional == 0) {
       threads = std::atoi(argv[i]);
       ++positional;
@@ -140,6 +186,13 @@ int main(int argc, char** argv) {
     }
   }
   const autoindex::util::Stopwatch total_watch;
+  if (!connect.empty()) {
+    const int rc = autoindex::RunRemote(connect, threads, queries);
+    if (rc != 0) return rc;
+    std::printf("\nTOTAL_WALL_MS %.1f\n", total_watch.ElapsedMs());
+    std::printf("OK\n");
+    return 0;
+  }
   autoindex::RunTpcc(threads, queries);
   autoindex::RunBanking(threads, queries / 2);
   // Machine-readable total for scripts/check.sh's overhead comparison.

@@ -12,6 +12,10 @@
 //   autoindex> \open /tmp/aidb       (recover a saved database)
 //   autoindex> \wal status
 //   autoindex> \quit
+//
+// Remote mode: `autoindex_shell --connect host:port` attaches to a
+// running autoindex_server instead of embedding an engine. SQL executes
+// remotely; \ping probes the server, \shutdown drains and stops it.
 
 #include <sys/stat.h>
 
@@ -26,7 +30,9 @@
 #include "check/validator.h"
 #include "core/manager.h"
 #include "engine/explain.h"
+#include "net/client.h"
 #include "persist/snapshot.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 #include "workload/workload.h"
 
@@ -56,11 +62,11 @@ void LoadDemo(Database* db) {
   std::printf("loaded table orders (50000 rows)\n");
 }
 
-void PrintRows(const ExecResult& result, size_t cap = 20) {
+void PrintRows(const std::vector<Row>& rows, size_t cap = 20) {
   size_t shown = 0;
-  for (const Row& row : result.rows) {
+  for (const Row& row : rows) {
     if (shown++ >= cap) {
-      std::printf("... (%zu more rows)\n", result.rows.size() - cap);
+      std::printf("... (%zu more rows)\n", rows.size() - cap);
       break;
     }
     std::string line = "  ";
@@ -92,9 +98,94 @@ AutoIndexConfig ShellConfig() {
   return config;
 }
 
+// Thin client REPL against a running autoindex_server: SQL round-trips
+// over the wire protocol; meta-commands are the connection-level subset
+// (\ping \shutdown \quit — tuning/persistence stay server-side).
+int RunRemoteShell(const std::string& spec) {
+  std::string host;
+  int port = 0;
+  Status parsed = net::ParseHostPort(spec, &host, &port);
+  if (!parsed.ok()) {
+    std::printf("bad --connect argument: %s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  net::Client client;
+  Status connected = client.Connect(host, port);
+  if (!connected.ok()) {
+    std::printf("connect failed: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to %s:%d (session %llu) — \\ping \\shutdown "
+              "\\quit; SQL executes remotely\n",
+              host.c_str(), port,
+              static_cast<unsigned long long>(client.session_id()));
+  std::string line;
+  while (true) {
+    std::printf("autoindex(%s:%d)> ", host.c_str(), port);
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    const std::string input(Trim(line));
+    if (input.empty()) continue;
+
+    if (input[0] == '\\') {
+      std::istringstream iss(input.substr(1));
+      std::string cmd;
+      iss >> cmd;
+      if (cmd == "quit" || cmd == "q") break;
+      if (cmd == "ping") {
+        const util::Stopwatch watch;
+        Status pong = client.Ping();
+        if (pong.ok()) {
+          std::printf("pong (%.2f ms)\n", watch.ElapsedMs());
+        } else {
+          std::printf("ping failed: %s\n", pong.ToString().c_str());
+          if (!client.connected()) return 1;
+        }
+      } else if (cmd == "shutdown") {
+        Status bye = client.Shutdown();
+        if (bye.ok()) {
+          std::printf("server acknowledged shutdown, draining\n");
+          return 0;
+        }
+        std::printf("shutdown failed: %s\n", bye.ToString().c_str());
+        return 1;
+      } else {
+        std::printf("unknown remote command \\%s (have \\ping \\shutdown "
+                    "\\quit)\n",
+                    cmd.c_str());
+      }
+      continue;
+    }
+
+    StatusOr<net::QueryResult> result = client.Query(input);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      if (!client.connected()) {
+        std::printf("connection lost\n");
+        return 1;
+      }
+      continue;
+    }
+    PrintRows(result->rows);
+    const CostBreakdown cost = result->stats.ToCost(CostParams());
+    std::printf("(%zu rows, cost %.2f%s)\n", result->rows.size(),
+                cost.Total(),
+                result->stats.used_index ? ", via index" : "");
+  }
+  client.Close();
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--connect") {
+    return RunRemoteShell(argv[2]);
+  }
+  if (argc != 1) {
+    std::printf("usage: %s [--connect host:port]\n", argv[0]);
+    return 2;
+  }
   // The database/manager/WAL live behind pointers so \open can swap in a
   // recovered instance. Teardown order matters: the manager observes the
   // database, and the database holds a raw pointer to the WAL.
@@ -301,7 +392,7 @@ int main() {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
     }
-    PrintRows(*result);
+    PrintRows(result->rows);
     const CostBreakdown cost = result->stats.ToCost(db->params());
     std::printf("(%zu rows, cost %.2f%s)\n", result->rows.size(),
                 cost.Total(),

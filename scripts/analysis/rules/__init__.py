@@ -10,4 +10,5 @@ from . import pragma_once       # noqa: F401
 from . import raw_chrono_metric  # noqa: F401
 from . import raw_file_io       # noqa: F401
 from . import raw_new_delete    # noqa: F401
+from . import raw_socket        # noqa: F401
 from . import status_ignored    # noqa: F401

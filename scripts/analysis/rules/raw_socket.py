@@ -1,0 +1,38 @@
+"""raw-socket: POSIX socket syscalls outside src/net/ bypass the
+service layer: no Status on failure, no timeout discipline, no RAII fd
+ownership, and no metrics. Network IO goes through net/socket.h
+(Socket/ListenSocket) or the higher-level net/client.h / net/server.h."""
+
+import re
+
+from .. import framework
+
+# Directory that implements the checked socket primitives and so may
+# issue the raw syscalls itself.
+ALLOWDIR = "src/net/"
+
+# Free (optionally ::-qualified) calls to the socket syscall family. The
+# lookbehind drops member calls (sock.send(...)), qualified wrappers
+# (base::connect(...)), and std::bind; a leading `::` is still caught so
+# the global-namespace spelling cannot slip through.
+_SOCK_RE = re.compile(
+    r"(?<![\w.:>])(?:::\s*)?"
+    r"(?:socket|bind|listen|accept4?|connect|send(?:to|msg)?|"
+    r"recv(?:from|msg)?|setsockopt|getsockopt|getsockname|getpeername|"
+    r"shutdown)\s*\(")
+
+
+@framework.register
+class RawSocket(framework.Rule):
+    name = "raw-socket"
+    description = "raw socket syscall outside src/net/"
+
+    def check(self, sf, ctx):
+        if sf.rel.startswith(ALLOWDIR):
+            return
+        for lineno, code in sf.code_lines:
+            if _SOCK_RE.search(code):
+                yield self.finding(
+                    sf, lineno,
+                    "raw socket syscall; use net/socket.h "
+                    "(Socket/ListenSocket) or net/client.h")

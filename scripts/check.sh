@@ -81,6 +81,48 @@ ctest --test-dir build-werror -L bench-smoke --output-on-failure
 step "recovery tests (snapshot/WAL crash matrix, plain build)"
 ctest --test-dir build-werror -L recovery --output-on-failure
 
+step "net tests (wire protocol + server, plain build)"
+ctest --test-dir build-werror -L net --output-on-failure
+
+# End-to-end service drill (DESIGN.md §12): boot autoindex_server on an
+# ephemeral port, drive it with the remote bench over loopback, stop it
+# with the shell's \shutdown, and demand a clean drain — the server exits
+# non-zero when any connection leaked or an admitted statement got no
+# response, so `wait` alone enforces the invariant.
+net_e2e() {
+  local bindir="$1"
+  local log
+  log="$(mktemp)"
+  "${bindir}/examples/autoindex_server" --workload tpcc --port 0 \
+    >"${log}" 2>&1 &
+  local srv=$!
+  local port=""
+  for _ in $(seq 1 150); do
+    port="$(awk '/^LISTENING/ {print $2}' "${log}")"
+    [[ -n "${port}" ]] && break
+    sleep 0.2
+  done
+  if [[ -z "${port}" ]]; then
+    echo "FAIL: server never reported LISTENING"
+    cat "${log}"
+    kill "${srv}" 2>/dev/null || true
+    return 1
+  fi
+  "${bindir}/bench/bench_concurrent" --short --connect "127.0.0.1:${port}"
+  printf '\\shutdown\n' | \
+    "${bindir}/examples/autoindex_shell" --connect "127.0.0.1:${port}"
+  if ! wait "${srv}"; then
+    echo "FAIL: server exited dirty (leaked connection or lost statement)"
+    cat "${log}"
+    return 1
+  fi
+  grep -q '^SHUTDOWN clean' "${log}"
+  rm -f "${log}"
+}
+
+step "net end-to-end (server + remote bench + \\shutdown over loopback)"
+net_e2e build-werror
+
 step "metrics overhead gate (ON vs AUTOINDEX_METRICS=OFF, bench_concurrent --short)"
 # The observability layer's contract (DESIGN.md §11) is < 5% overhead on
 # the concurrent bench. Build a metrics-free baseline of just the bench
@@ -140,6 +182,16 @@ step "recovery tests under ASan + UBSan"
 ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
 UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
   ctest --test-dir build-asan -L recovery --output-on-failure
+
+step "net tests under ASan + UBSan"
+ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+  ctest --test-dir build-asan -L net --output-on-failure
+
+step "net end-to-end under ASan + UBSan"
+ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+  net_e2e build-asan
 
 step "sanitizer build (TSan, -Werror)"
 cmake -B build-tsan -S . \

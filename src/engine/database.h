@@ -172,6 +172,13 @@ class Database {
   // (Session construction).
   std::unique_ptr<Executor> MakeSessionExecutor();
 
+  // Internal: the next session id (Session construction). Monotone per
+  // database; id 0 is never handed out, so the net handshake can treat 0
+  // as "no session".
+  uint64_t NextSessionId() {
+    return next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // --- Observability (DESIGN.md §11) ---
   // Point-in-time view of the process-wide metrics registry, filtered to
   // names starting with `prefix` (all when empty). Counters/histograms
@@ -219,6 +226,7 @@ class Database {
   IndexBuildHook index_build_hook_;
   mutable LatchManager latches_;
   std::atomic<uint64_t> data_version_{1};
+  std::atomic<uint64_t> next_session_id_{1};
   // Serializes (data-version bump, WAL append) pairs across writers and
   // guards the attached log pointer.
   mutable util::Mutex wal_mu_;

@@ -5,7 +5,9 @@
 namespace autoindex {
 
 Session::Session(Database* db)
-    : db_(db), executor_(db->MakeSessionExecutor()) {}
+    : db_(db),
+      id_(db->NextSessionId()),
+      executor_(db->MakeSessionExecutor()) {}
 
 Session::~Session() = default;
 

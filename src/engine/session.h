@@ -28,6 +28,11 @@ class Session {
   explicit Session(Database* db);
   ~Session();
 
+  // Database-unique monotone id, assigned at construction. The service
+  // layer (src/net/) hands it to remote clients in the HelloOk handshake
+  // so a connection can be correlated with server-side logs/metrics.
+  uint64_t id() const { return id_; }
+
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
@@ -49,6 +54,7 @@ class Session {
 
  private:
   Database* db_;
+  uint64_t id_;
   std::unique_ptr<Executor> executor_;
   ExecStats cumulative_stats_;
   size_t statements_executed_ = 0;

@@ -1,0 +1,135 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "net/wire.h"
+#include "util/string_util.h"
+
+namespace autoindex {
+namespace net {
+
+namespace {
+constexpr const char* kBusyPrefix = "server busy";
+}  // namespace
+
+bool IsServerBusy(const Status& status) {
+  return status.code() == StatusCode::kInternal &&
+         StartsWith(status.message(), kBusyPrefix);
+}
+
+Status Client::Connect(const std::string& host, int port,
+                       const ClientConfig& config) {
+  Close();
+  config_ = config;
+  StatusOr<Socket> sock =
+      Socket::ConnectTcp(host, port, config.connect_timeout_ms);
+  if (!sock.ok()) return sock.status();
+  sock_ = std::move(*sock);
+
+  Status sent =
+      SendFrame(&sock_, Message::Hello(), config_.connect_timeout_ms);
+  if (!sent.ok()) {
+    sock_.Close();
+    return sent;
+  }
+  Message reply;
+  Status got = ReadFrame(&sock_, &reply, config_.connect_timeout_ms);
+  if (!got.ok()) {
+    sock_.Close();
+    return got;
+  }
+  if (reply.type == MessageType::kBusy) {
+    sock_.Close();
+    return Status::Internal(reply.text);  // IsServerBusy matches
+  }
+  if (reply.type == MessageType::kError) {
+    sock_.Close();
+    return Status::InvalidArgument(reply.text);
+  }
+  if (reply.type != MessageType::kHelloOk) {
+    sock_.Close();
+    return Status::Internal(StrCat("handshake: expected HelloOk, got ",
+                                   MessageTypeName(reply.type)));
+  }
+  if (reply.protocol_version != kProtocolVersion) {
+    sock_.Close();
+    return Status::InvalidArgument(
+        StrCat("protocol version mismatch: server ", reply.protocol_version,
+               ", client ", kProtocolVersion));
+  }
+  session_id_ = reply.session_id;
+  return Status::Ok();
+}
+
+StatusOr<Message> Client::RoundTrip(const Message& request,
+                                    MessageType want) {
+  if (!connected()) return Status::NotFound("not connected");
+  Status sent = SendFrame(&sock_, request, config_.io_timeout_ms);
+  if (!sent.ok()) {
+    sock_.Close();
+    return sent;
+  }
+  Message reply;
+  Status got = ReadFrame(&sock_, &reply, config_.io_timeout_ms);
+  if (!got.ok()) {
+    sock_.Close();
+    return got;
+  }
+  if (reply.type == MessageType::kBusy) {
+    // Shed, not executed; the connection stays usable for a retry.
+    return Status::Internal(reply.text);  // IsServerBusy matches
+  }
+  if (reply.type == MessageType::kError) {
+    // Connection-fatal by protocol contract: the server closes after an
+    // Error frame, so mirror it.
+    sock_.Close();
+    return Status::Internal(StrCat("server error: ", reply.text));
+  }
+  if (reply.type != want) {
+    sock_.Close();
+    return Status::Internal(StrCat("expected ", MessageTypeName(want),
+                                   ", got ", MessageTypeName(reply.type)));
+  }
+  return reply;
+}
+
+StatusOr<QueryResult> Client::Query(const std::string& sql) {
+  StatusOr<Message> reply =
+      RoundTrip(Message::Query(sql), MessageType::kResult);
+  if (!reply.ok()) return reply.status();
+  if (reply->status_code != StatusCode::kOk) {
+    // The statement itself failed server-side; surface its Status as if
+    // Session::Execute had returned it locally.
+    return Status(reply->status_code, reply->status_message);
+  }
+  QueryResult result;
+  result.rows = std::move(reply->rows);
+  result.stats = reply->stats;
+  result.indexes_used = std::move(reply->indexes_used);
+  return result;
+}
+
+Status Client::Ping() {
+  return RoundTrip(Message::Simple(MessageType::kPing), MessageType::kPong)
+      .status();
+}
+
+Status Client::Shutdown() {
+  StatusOr<Message> reply =
+      RoundTrip(Message::Simple(MessageType::kShutdown), MessageType::kBye);
+  sock_.Close();
+  return reply.status();
+}
+
+void Client::Close() {
+  if (!connected()) return;
+  // Best-effort courtesy Quit so the server logs a clean close; skip the
+  // Bye wait (the peer may already be gone).
+  (void)SendFrame(&sock_, Message::Simple(MessageType::kQuit),
+                  /*timeout_ms=*/100);
+  sock_.Close();
+  session_id_ = 0;
+}
+
+}  // namespace net
+}  // namespace autoindex

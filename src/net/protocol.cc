@@ -1,0 +1,289 @@
+#include "net/protocol.h"
+
+#include <cstring>
+#include <utility>
+
+#include "persist/serde.h"
+#include "util/string_util.h"
+
+namespace autoindex {
+namespace net {
+namespace {
+
+void PutExecStats(persist::Writer* w, const ExecStats& s) {
+  w->PutU64(s.heap_pages_read);
+  w->PutU64(s.index_pages_read);
+  w->PutU64(s.tuples_examined);
+  w->PutU64(s.index_tuples_read);
+  w->PutU64(s.rows_returned);
+  w->PutU64(s.sort_rows);
+  w->PutU64(s.pages_written);
+  w->PutU64(s.index_entries_written);
+  w->PutU64(s.index_pages_written);
+  w->PutDouble(s.maint_cpu_cost);
+  w->PutBool(s.used_index);
+}
+
+ExecStats GetExecStats(persist::Reader* r) {
+  ExecStats s;
+  s.heap_pages_read = r->GetU64();
+  s.index_pages_read = r->GetU64();
+  s.tuples_examined = r->GetU64();
+  s.index_tuples_read = r->GetU64();
+  s.rows_returned = r->GetU64();
+  s.sort_rows = r->GetU64();
+  s.pages_written = r->GetU64();
+  s.index_entries_written = r->GetU64();
+  s.index_pages_written = r->GetU64();
+  s.maint_cpu_cost = r->GetDouble();
+  s.used_index = r->GetBool();
+  return s;
+}
+
+bool ValidStatusCode(uint8_t code) {
+  return code <= static_cast<uint8_t>(StatusCode::kInternal);
+}
+
+void PutU32At(std::string* buf, size_t pos, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*buf)[pos + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+uint32_t GetU32At(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kHello: return "Hello";
+    case MessageType::kHelloOk: return "HelloOk";
+    case MessageType::kQuery: return "Query";
+    case MessageType::kResult: return "Result";
+    case MessageType::kPing: return "Ping";
+    case MessageType::kPong: return "Pong";
+    case MessageType::kQuit: return "Quit";
+    case MessageType::kBye: return "Bye";
+    case MessageType::kShutdown: return "Shutdown";
+    case MessageType::kBusy: return "Busy";
+    case MessageType::kError: return "Error";
+  }
+  return "Unknown";
+}
+
+Message Message::HelloOk(uint64_t session_id) {
+  Message m;
+  m.type = MessageType::kHelloOk;
+  m.protocol_version = kProtocolVersion;
+  m.session_id = session_id;
+  return m;
+}
+
+Message Message::Query(std::string sql) {
+  Message m;
+  m.type = MessageType::kQuery;
+  m.sql = std::move(sql);
+  return m;
+}
+
+Message Message::Simple(MessageType type) {
+  Message m;
+  m.type = type;
+  return m;
+}
+
+Message Message::Busy(std::string reason) {
+  Message m;
+  m.type = MessageType::kBusy;
+  m.text = std::move(reason);
+  return m;
+}
+
+Message Message::Error(std::string reason) {
+  Message m;
+  m.type = MessageType::kError;
+  m.text = std::move(reason);
+  return m;
+}
+
+Message Message::FailedResult(const Status& status) {
+  Message m;
+  m.type = MessageType::kResult;
+  m.status_code = status.code();
+  m.status_message = status.message();
+  return m;
+}
+
+std::string EncodeFrame(const Message& m) {
+  persist::Writer payload;
+  payload.PutU8(static_cast<uint8_t>(m.type));
+  switch (m.type) {
+    case MessageType::kHello:
+      payload.PutU32(m.protocol_version);
+      break;
+    case MessageType::kHelloOk:
+      payload.PutU32(m.protocol_version);
+      payload.PutU64(m.session_id);
+      break;
+    case MessageType::kQuery:
+      payload.PutString(m.sql);
+      break;
+    case MessageType::kBusy:
+    case MessageType::kError:
+      payload.PutString(m.text);
+      break;
+    case MessageType::kResult: {
+      payload.PutU8(static_cast<uint8_t>(m.status_code));
+      payload.PutString(m.status_message);
+      payload.PutU32(static_cast<uint32_t>(m.rows.size()));
+      for (const Row& row : m.rows) persist::PutRow(&payload, row);
+      PutExecStats(&payload, m.stats);
+      payload.PutU32(static_cast<uint32_t>(m.indexes_used.size()));
+      for (const std::string& name : m.indexes_used) payload.PutString(name);
+      break;
+    }
+    case MessageType::kPing:
+    case MessageType::kPong:
+    case MessageType::kQuit:
+    case MessageType::kBye:
+    case MessageType::kShutdown:
+      break;  // no body
+  }
+
+  std::string frame(kFrameHeaderBytes, '\0');
+  PutU32At(&frame, 0, kFrameMagic);
+  PutU32At(&frame, 4, static_cast<uint32_t>(payload.size()));
+  PutU32At(&frame, 8, persist::Crc32(payload.buffer().data(), payload.size()));
+  frame += payload.buffer();
+  return frame;
+}
+
+Status ParseFrameHeader(const char* header, uint32_t* payload_len,
+                        uint32_t* crc) {
+  const uint32_t magic = GetU32At(header);
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument(
+        StrFormat("bad frame magic 0x%08x (want 0x%08x)", magic, kFrameMagic));
+  }
+  *payload_len = GetU32At(header + 4);
+  *crc = GetU32At(header + 8);
+  if (*payload_len == 0) {
+    return Status::InvalidArgument("empty frame payload");
+  }
+  if (*payload_len > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        StrFormat("frame payload %u bytes exceeds limit %u", *payload_len,
+                  kMaxFrameBytes));
+  }
+  return Status::Ok();
+}
+
+Status DecodePayload(const char* payload, size_t len, uint32_t crc,
+                     Message* out) {
+  const uint32_t actual = persist::Crc32(payload, len);
+  if (actual != crc) {
+    return Status::InvalidArgument(
+        StrFormat("frame CRC mismatch: header 0x%08x, payload 0x%08x", crc,
+                  actual));
+  }
+  persist::Reader r(payload, len);
+  const uint8_t raw_type = r.GetU8();
+  if (raw_type < static_cast<uint8_t>(MessageType::kHello) ||
+      raw_type > static_cast<uint8_t>(MessageType::kError)) {
+    return Status::InvalidArgument(
+        StrFormat("unknown message type %u", raw_type));
+  }
+  Message m;
+  m.type = static_cast<MessageType>(raw_type);
+  switch (m.type) {
+    case MessageType::kHello:
+      m.protocol_version = r.GetU32();
+      break;
+    case MessageType::kHelloOk:
+      m.protocol_version = r.GetU32();
+      m.session_id = r.GetU64();
+      break;
+    case MessageType::kQuery:
+      m.sql = r.GetString();
+      break;
+    case MessageType::kBusy:
+    case MessageType::kError:
+      m.text = r.GetString();
+      break;
+    case MessageType::kResult: {
+      const uint8_t code = r.GetU8();
+      if (r.ok() && !ValidStatusCode(code)) {
+        r.Fail(Status::InvalidArgument(
+            StrFormat("invalid status code %u", code)));
+      }
+      m.status_code = static_cast<StatusCode>(code);
+      m.status_message = r.GetString();
+      const uint32_t num_rows = r.GetU32();
+      // Every encoded row costs at least its own u32 length, so a count
+      // larger than the remaining bytes is provably corrupt — poison the
+      // stream before the loop allocates anything.
+      if (r.ok() && num_rows > r.remaining()) {
+        r.Fail(Status::InvalidArgument(
+            StrFormat("implausible row count %u", num_rows)));
+      }
+      for (uint32_t i = 0; i < num_rows && r.ok(); ++i) {
+        m.rows.push_back(persist::GetRow(&r));
+      }
+      m.stats = GetExecStats(&r);
+      const uint32_t num_indexes = r.GetU32();
+      if (r.ok() && num_indexes > r.remaining()) {
+        r.Fail(Status::InvalidArgument(
+            StrFormat("implausible index count %u", num_indexes)));
+      }
+      for (uint32_t i = 0; i < num_indexes && r.ok(); ++i) {
+        m.indexes_used.push_back(r.GetString());
+      }
+      break;
+    }
+    case MessageType::kPing:
+    case MessageType::kPong:
+    case MessageType::kQuit:
+    case MessageType::kBye:
+    case MessageType::kShutdown:
+      break;
+  }
+  if (!r.ok()) return r.status();
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        StrFormat("frame has %zu trailing bytes after %s body", r.remaining(),
+                  MessageTypeName(m.type)));
+  }
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+Status DecodeFrame(const std::string& frame, Message* out, size_t* consumed) {
+  if (frame.size() < kFrameHeaderBytes) {
+    return Status::OutOfRange(
+        StrFormat("truncated frame header: %zu of %zu bytes", frame.size(),
+                  kFrameHeaderBytes));
+  }
+  uint32_t payload_len = 0;
+  uint32_t crc = 0;
+  Status header = ParseFrameHeader(frame.data(), &payload_len, &crc);
+  if (!header.ok()) return header;
+  if (frame.size() < kFrameHeaderBytes + payload_len) {
+    return Status::OutOfRange(
+        StrFormat("truncated frame payload: %zu of %u bytes",
+                  frame.size() - kFrameHeaderBytes, payload_len));
+  }
+  Status decoded =
+      DecodePayload(frame.data() + kFrameHeaderBytes, payload_len, crc, out);
+  if (!decoded.ok()) return decoded;
+  if (consumed != nullptr) *consumed = kFrameHeaderBytes + payload_len;
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace autoindex

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/cost_model.h"
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace autoindex {
+namespace net {
+
+// Wire protocol of the AutoIndex service layer (DESIGN.md §12).
+//
+// Every message travels in one frame:
+//
+//   u32 magic        kFrameMagic ("AIN1", little-endian on the wire)
+//   u32 payload_len  bytes following the header, <= kMaxFrameBytes
+//   u32 crc          persist::Crc32 over the payload bytes
+//   payload          persist::Writer encoding: u8 type + per-type body
+//
+// Framing reuses the durability layer's Writer/Reader (persist/serde.h),
+// so payload decoding inherits the sticky-error discipline: a torn or
+// malicious payload poisons the Reader and surfaces as one Status, never
+// UB. A frame that fails the magic, length, or CRC check is
+// connection-fatal — the byte stream can no longer be trusted, so both
+// sides close rather than resynchronize.
+//
+// The conversation is strict request/response: after the version
+// handshake (Hello -> HelloOk | Error), the client sends one request
+// frame and reads exactly one response frame. That makes the
+// per-connection in-flight statement count 1 by construction; the
+// server's admission control bounds connections and *global* concurrent
+// statements (server.h).
+
+inline constexpr uint32_t kFrameMagic = 0x314E4941;  // "AIN1"
+inline constexpr uint32_t kProtocolVersion = 1;
+// Upper bound on one payload. Chosen so a malicious length field cannot
+// make the peer allocate unbounded memory before the CRC check.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+inline constexpr size_t kFrameHeaderBytes = 12;
+
+enum class MessageType : uint8_t {
+  kHello = 1,     // client -> server: protocol_version
+  kHelloOk = 2,   // server -> client: protocol_version, session_id
+  kQuery = 3,     // client -> server: sql
+  kResult = 4,    // server -> client: status, rows, stats, indexes_used
+  kPing = 5,      // client -> server
+  kPong = 6,      // server -> client
+  kQuit = 7,      // client -> server: close this connection
+  kBye = 8,       // server -> client: ack for kQuit / kShutdown
+  kShutdown = 9,  // client -> server: begin graceful drain of the server
+  kBusy = 10,     // server -> client: admission shed (text = reason)
+  kError = 11,    // server -> client: connection-fatal error (text)
+};
+
+const char* MessageTypeName(MessageType type);
+
+// One decoded message. A tagged union flattened into a struct: only the
+// fields of the active `type` are meaningful, everything else stays
+// default-initialized (and round-trips as such through Encode/Decode).
+struct Message {
+  MessageType type = MessageType::kPing;
+
+  // kHello / kHelloOk
+  uint32_t protocol_version = 0;
+  // kHelloOk
+  uint64_t session_id = 0;
+  // kQuery
+  std::string sql;
+  // kBusy / kError
+  std::string text;
+  // kResult
+  StatusCode status_code = StatusCode::kOk;
+  std::string status_message;
+  std::vector<Row> rows;
+  ExecStats stats;
+  std::vector<std::string> indexes_used;
+
+  static Message Hello() {
+    Message m;
+    m.type = MessageType::kHello;
+    m.protocol_version = kProtocolVersion;
+    return m;
+  }
+  static Message HelloOk(uint64_t session_id);
+  static Message Query(std::string sql);
+  static Message Simple(MessageType type);  // kPing/kPong/kQuit/kBye/kShutdown
+  static Message Busy(std::string reason);
+  static Message Error(std::string reason);
+  // A kResult carrying a failed statement status (no rows).
+  static Message FailedResult(const Status& status);
+};
+
+// Encodes the message into one complete frame (header + payload).
+std::string EncodeFrame(const Message& m);
+
+// Validates a frame header (exactly kFrameHeaderBytes bytes): magic and
+// payload length bound. On success *payload_len/*crc carry the framing
+// fields for the payload that follows.
+Status ParseFrameHeader(const char* header, uint32_t* payload_len,
+                        uint32_t* crc);
+
+// Decodes a payload previously announced by ParseFrameHeader: CRC check,
+// then type + body via a sticky-error Reader. Trailing bytes after the
+// body are a protocol error (frames are exact, not padded).
+Status DecodePayload(const char* payload, size_t len, uint32_t crc,
+                     Message* out);
+
+// Decodes one whole frame from an in-memory buffer (tests, fuzzing).
+// `*consumed` reports the frame's total size on success.
+Status DecodeFrame(const std::string& frame, Message* out,
+                   size_t* consumed = nullptr);
+
+}  // namespace net
+}  // namespace autoindex

@@ -1,0 +1,40 @@
+#include "net/wire.h"
+
+namespace autoindex {
+namespace net {
+
+Status SendFrame(Socket* sock, const Message& m, int timeout_ms,
+                 util::Counter* bytes) {
+  const std::string frame = EncodeFrame(m);
+  Status sent = sock->SendAll(frame.data(), frame.size(), timeout_ms);
+  if (!sent.ok()) return sent;
+  if (bytes != nullptr) bytes->Add(frame.size());
+  return Status::Ok();
+}
+
+Status ReadFrame(Socket* sock, Message* out, int timeout_ms,
+                 util::Counter* bytes) {
+  char header[kFrameHeaderBytes];
+  Status got = sock->RecvAll(header, sizeof(header), timeout_ms);
+  if (!got.ok()) return got;
+
+  uint32_t payload_len = 0;
+  uint32_t crc = 0;
+  Status parsed = ParseFrameHeader(header, &payload_len, &crc);
+  if (!parsed.ok()) return parsed;
+
+  std::string payload(payload_len, '\0');
+  got = sock->RecvAll(payload.data(), payload.size(), timeout_ms);
+  if (!got.ok()) {
+    // EOF between header and payload is a torn frame, not a clean close.
+    if (got.code() == StatusCode::kNotFound) {
+      return Status::Internal("connection closed mid-frame");
+    }
+    return got;
+  }
+  if (bytes != nullptr) bytes->Add(kFrameHeaderBytes + payload.size());
+  return DecodePayload(payload.data(), payload.size(), crc, out);
+}
+
+}  // namespace net
+}  // namespace autoindex

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace autoindex {
+namespace net {
+
+// Framed message IO over a socket: the glue between protocol.h (pure
+// byte-buffer encode/decode) and socket.h (raw fd transport). Both the
+// server and the client speak through these two calls, so framing
+// behavior — header-first reads, the payload length bound enforced
+// *before* the payload allocation, CRC verification — cannot drift
+// between the two sides.
+
+// Encodes and writes one frame. `bytes` (optional) accumulates the bytes
+// put on the wire (the server's net.bytes_written counter).
+Status SendFrame(Socket* sock, const Message& m, int timeout_ms,
+                 util::Counter* bytes = nullptr);
+
+// Reads and decodes one frame. A clean EOF before the first header byte
+// is kNotFound ("connection closed by peer"); every other failure —
+// timeout, torn header/payload, bad magic, oversized length, CRC
+// mismatch, malformed body — is connection-fatal for the caller.
+Status ReadFrame(Socket* sock, Message* out, int timeout_ms,
+                 util::Counter* bytes = nullptr);
+
+}  // namespace net
+}  // namespace autoindex

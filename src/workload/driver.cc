@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "engine/session.h"
+#include "net/client.h"
 #include "util/mutex.h"
 
 namespace autoindex {
@@ -108,6 +109,54 @@ void ClientLoop(Database* db, const std::vector<std::string>& queries,
   metrics->wall_ms = ElapsedMs(start);
 }
 
+// One remote client thread: same trace slicing and schedule accounting as
+// ClientLoop, but each statement round-trips through a net::Client. A
+// kBusy shed is retried a few times with a short backoff (admission
+// control asks the client to come back, not to give up); anything else
+// non-ok counts as failed. A dead connection fails the rest of the slice
+// rather than silently shrinking the measured population.
+void RemoteClientLoop(const std::string& host, int port,
+                      const std::vector<std::string>& queries, size_t offset,
+                      size_t stride, int pace_us, ClientMetrics* metrics,
+                      LatencySinks* sinks) {
+  const auto start = std::chrono::steady_clock::now();
+  net::Client client;
+  Status connected = client.Connect(host, port);
+  for (size_t i = offset; i < queries.size(); i += stride) {
+    ++metrics->queries;
+    if (!connected.ok() || !client.connected()) {
+      ++metrics->failed;
+      continue;
+    }
+    auto scheduled = std::chrono::steady_clock::time_point{};
+    if (pace_us > 0) {
+      scheduled = start + std::chrono::microseconds(
+                              static_cast<int64_t>(i) * pace_us);
+      std::this_thread::sleep_until(scheduled);
+    }
+    const auto issue = std::chrono::steady_clock::now();
+    if (pace_us <= 0) scheduled = issue;
+
+    StatusOr<net::QueryResult> result = client.Query(queries[i]);
+    for (int attempt = 0; attempt < 3 && !result.ok() &&
+                          net::IsServerBusy(result.status());
+         ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      result = client.Query(queries[i]);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    sinks->service.Record(DurationUs(end - issue));
+    sinks->response.Record(DurationUs(end - scheduled));
+    if (!result.ok()) {
+      ++metrics->failed;
+      continue;
+    }
+    metrics->total_cost += result->stats.ToCost(CostParams()).Total();
+  }
+  client.Close();
+  metrics->wall_ms = ElapsedMs(start);
+}
+
 }  // namespace
 
 ClientMetrics DriverReport::Aggregate() const {
@@ -169,6 +218,32 @@ DriverReport RunConcurrentWorkload(AutoIndexManager* manager,
   for (std::thread& t : clients) t.join();
   observations.Close();
   if (tuner.joinable()) tuner.join();
+
+  report.wall_ms = ElapsedMs(start);
+  report.service_latency = sinks.service.Snapshot();
+  report.response_latency = sinks.response.Snapshot();
+  return report;
+}
+
+DriverReport RunRemoteWorkload(const std::string& host, int port,
+                               const std::vector<std::string>& queries,
+                               const DriverConfig& config) {
+  const size_t num_clients =
+      config.client_threads < 1 ? 1
+                                : static_cast<size_t>(config.client_threads);
+  DriverReport report;
+  report.clients.resize(num_clients);
+  LatencySinks sinks;
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (size_t tid = 0; tid < num_clients; ++tid) {
+    clients.emplace_back(RemoteClientLoop, host, port, std::cref(queries),
+                         tid, num_clients, config.pace_us,
+                         &report.clients[tid], &sinks);
+  }
+  for (std::thread& t : clients) t.join();
 
   report.wall_ms = ElapsedMs(start);
   report.service_latency = sinks.service.Snapshot();

@@ -86,4 +86,17 @@ DriverReport RunConcurrentWorkload(AutoIndexManager* manager,
 DriverReport RunSequentialWorkload(Database* db,
                                    const std::vector<std::string>& queries);
 
+// Replays `queries` against a remote autoindex_server over TCP instead of
+// an in-process database: `config.client_threads` threads each hold one
+// net::Client connection and replay an interleaved slice of the trace,
+// with the same open-loop pacing and service/response latency split as
+// RunConcurrentWorkload — here the two diverge under real network + queue
+// delay, not just latch stalls. Tuning fields of `config` are ignored
+// (tuning, if any, runs server-side); kBusy sheds are retried briefly and
+// then counted as failed. total_cost uses default CostParams, since the
+// server's params are not part of the wire protocol.
+DriverReport RunRemoteWorkload(const std::string& host, int port,
+                               const std::vector<std::string>& queries,
+                               const DriverConfig& config = {});
+
 }  // namespace autoindex

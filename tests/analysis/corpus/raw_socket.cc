@@ -1,0 +1,38 @@
+// raw-socket fixture: POSIX socket syscalls outside src/net/.
+
+#include <functional>
+
+namespace corpus {
+
+int DialUnchecked(const void* addr, unsigned len) {
+  int fd = socket(2, 1, 0);              // lint:expect(raw-socket)
+  if (connect(fd, addr, len) != 0) {     // lint:expect(raw-socket)
+    return -1;
+  }
+  ::send(fd, "x", 1, 0);                 // lint:expect(raw-socket)
+  return fd;
+}
+
+int ServeUnchecked(const void* addr, unsigned len) {
+  int fd = socket(2, 1, 0);              // lint:expect(raw-socket)
+  bind(fd, addr, len);                   // lint:expect(raw-socket)
+  listen(fd, 16);                        // lint:expect(raw-socket)
+  return accept(fd, nullptr, nullptr);   // lint:expect(raw-socket)
+}
+
+// Member calls and std::bind are NOT raw syscalls; none of these fire.
+struct Conn {
+  int Send(int v) { return v; }
+  int Recv(int v) { return v; }
+};
+
+int CleanMemberCalls(Conn& conn) {
+  auto bound = std::bind(&Conn::Send, &conn, 1);
+  return conn.Recv(0) + bound();
+}
+
+int Suppressed(const void* addr, unsigned len) {
+  return connect(0, addr, len);  // lint:allow(raw-socket)
+}
+
+}  // namespace corpus
