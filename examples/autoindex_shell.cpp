@@ -31,6 +31,7 @@
 #include "core/manager.h"
 #include "engine/explain.h"
 #include "net/client.h"
+#include "persist/io.h"
 #include "persist/snapshot.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
@@ -115,8 +116,8 @@ int RunRemoteShell(const std::string& spec) {
     std::printf("connect failed: %s\n", connected.ToString().c_str());
     return 1;
   }
-  std::printf("connected to %s:%d (session %llu) — \\ping \\shutdown "
-              "\\quit; SQL executes remotely\n",
+  std::printf("connected to %s:%d (session %llu) — \\metrics \\ping "
+              "\\shutdown \\quit; SQL executes remotely\n",
               host.c_str(), port,
               static_cast<unsigned long long>(client.session_id()));
   std::string line;
@@ -149,9 +150,25 @@ int RunRemoteShell(const std::string& spec) {
         }
         std::printf("shutdown failed: %s\n", bye.ToString().c_str());
         return 1;
+      } else if (cmd == "metrics") {
+        // Remote scrape: the server renders its own registry (satisfying
+        // prefix filter server-side) and ships the text back.
+        std::string prefix;
+        iss >> prefix;
+        StatusOr<std::string> text = client.Metrics(prefix);
+        if (!text.ok()) {
+          std::printf("metrics failed: %s\n",
+                      text.status().ToString().c_str());
+          if (!client.connected()) return 1;
+        } else if (text->empty()) {
+          std::printf("no metrics%s%s yet\n", prefix.empty() ? "" : " under ",
+                      prefix.c_str());
+        } else {
+          std::printf("%s", text->c_str());
+        }
       } else {
-        std::printf("unknown remote command \\%s (have \\ping \\shutdown "
-                    "\\quit)\n",
+        std::printf("unknown remote command \\%s (have \\metrics \\ping "
+                    "\\shutdown \\quit)\n",
                     cmd.c_str());
       }
       continue;
@@ -195,8 +212,8 @@ int main(int argc, char** argv) {
 
   std::printf("AutoIndex shell — \\demo \\tune \\diagnose \\indexes "
               "\\templates \\explain [analyze] <sql> \\budget <MiB> "
-              "\\check [on|off] \\metrics [prefix] \\save <dir> "
-              "\\open <dir> \\wal status \\quit\n");
+              "\\check [on|off] \\metrics [prefix] \\trace show|dump "
+              "\\save <dir> \\open <dir> \\wal status \\quit\n");
   std::string line;
   while (true) {
     std::printf("autoindex> ");
@@ -258,6 +275,33 @@ int main(int argc, char** argv) {
                       prefix.c_str());
         } else {
           std::printf("%s", text.c_str());
+        }
+      } else if (cmd == "trace") {
+        // "\trace show [n]" renders the most recent flight-recorder
+        // traces as indented span trees; "\trace dump <file>" writes the
+        // whole ring as Chrome trace-event JSON (chrome://tracing,
+        // Perfetto).
+        std::string sub;
+        iss >> sub;
+        if (sub == "show") {
+          size_t n = 5;
+          iss >> n;
+          std::printf("%s", db->RenderTraceTrees(n).c_str());
+        } else if (sub == "dump") {
+          std::string file;
+          iss >> file;
+          if (file.empty()) {
+            std::printf("usage: \\trace dump <file>\n");
+            continue;
+          }
+          Status written = persist::AtomicWriteFile(file, db->DumpTraces());
+          if (written.ok()) {
+            std::printf("wrote traces to %s\n", file.c_str());
+          } else {
+            std::printf("dump failed: %s\n", written.ToString().c_str());
+          }
+        } else {
+          std::printf("usage: \\trace show [n] | \\trace dump <file>\n");
         }
       } else if (cmd == "diagnose") {
         DiagnosisReport report = manager->Diagnose();

@@ -11,10 +11,11 @@ import re
 from .. import framework
 
 # Modules that implement or legitimately own raw clock reads: the metrics
-# layer itself, the workload drivers (open-loop pacing needs raw
-# timepoints), and benchmarks.
+# layer itself, the tracing layer built on it, the workload drivers
+# (open-loop pacing needs raw timepoints), and benchmarks.
 ALLOW_PREFIXES = (
     "src/util/metrics.",
+    "src/obs/",
     "src/workload/",
     "bench/",
 )

@@ -128,6 +128,11 @@ step "metrics overhead gate (ON vs AUTOINDEX_METRICS=OFF, bench_concurrent --sho
 # the concurrent bench. Build a metrics-free baseline of just the bench
 # binary, run both min-of-3 (min is the right statistic for noise: the
 # fastest run is the least-perturbed one), and compare TOTAL_WALL_MS.
+# AUTOINDEX_METRICS=OFF also compiles out request-scoped tracing
+# (DESIGN.md §13) — every ScopedTrace/ScopedSpan in the hot path becomes
+# a no-op — so this same budget gates the combined metrics + tracing
+# cost, including the per-statement span recording the bench drives
+# through the server's net.request traces.
 cmake -B build-nometrics -S . -DAUTOINDEX_METRICS=OFF >/dev/null
 cmake --build build-nometrics -j "${JOBS}" --target bench_concurrent
 bench_min_ms() {

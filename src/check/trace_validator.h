@@ -1,0 +1,39 @@
+#pragma once
+
+#include "check/validator.h"
+#include "obs/trace.h"
+
+namespace autoindex {
+
+// Audits the flight recorder (DESIGN.md §13). Every recorded trace must
+// be a well-formed span tree:
+//  - span ids are dense 1..N in start order, and span 1 is the only root
+//    (parent 0);
+//  - every parent id is a smaller id (parents start before children, so
+//    the tree is acyclic by construction — a violation means the ring
+//    slot was torn or overwritten mid-read);
+//  - a child's [start, start+duration) interval lies inside its
+//    parent's;
+//  - total_us equals the root span's duration;
+//  - the span count never exceeds the per-trace cap, and spans_dropped
+//    is only nonzero when the cap was actually hit.
+// And the recorder's bookkeeping must balance:
+//  - ring occupancy == min(recorded, capacity);
+//  - finished == recorded + sampled_out (every submitted trace was
+//    either kept or deliberately dropped);
+//  - started >= finished + cancelled (one-sided: started is read from an
+//    atomic, so in-flight traces make it run ahead).
+// Like the metrics validator it audits process-global state
+// (obs::Tracer::Default()) and ignores the CheckContext.
+class TraceValidator : public Validator {
+ public:
+  const char* name() const override { return "trace"; }
+  void Validate(const CheckContext& ctx, CheckReport* report) const override;
+
+  // The whole audit as a static helper over any snapshot, so tests can
+  // drill corruption into a private Tracer and watch each check fire.
+  static void CheckSnapshot(const obs::Tracer::Snapshot& snap,
+                            CheckReport* report);
+};
+
+}  // namespace autoindex

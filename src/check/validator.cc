@@ -8,6 +8,7 @@
 #include "check/mcts_validator.h"
 #include "check/metrics_validator.h"
 #include "check/plan_validator.h"
+#include "check/trace_validator.h"
 #include "engine/database.h"
 #include "storage/latch_manager.h"
 #include "util/string_util.h"
@@ -42,6 +43,7 @@ ValidatorRegistry& ValidatorRegistry::Default() {
     registry.Register(std::make_unique<LatchValidator>());
     registry.Register(std::make_unique<LifecycleValidator>());
     registry.Register(std::make_unique<MetricsValidator>());
+    registry.Register(std::make_unique<TraceValidator>());
     return true;
   }();
   (void)populated;

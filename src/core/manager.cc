@@ -1,5 +1,6 @@
 #include "core/manager.h"
 
+#include "obs/trace.h"
 #include "persist/serde.h"
 #include "util/metrics.h"
 
@@ -34,6 +35,8 @@ struct TuningMetrics {
 
 AutoIndexManager::AutoIndexManager(Database* db, AutoIndexConfig config)
     : db_(db), config_(config), sample_rng_(0xA11CE) {
+  obs::Tracer::Default().Configure(config_.trace_slow_us,
+                                   config_.trace_sample_rate);
   templates_ = std::make_unique<TemplateStore>(config_.template_capacity);
   estimator_ = std::make_unique<IndexBenefitEstimator>(db_);
   generator_ =
@@ -189,6 +192,9 @@ DiagnosisReport AutoIndexManager::Diagnose() {
 
 TuningResult AutoIndexManager::RunManagementRound(bool apply) {
   const TuningMetrics& metrics = TuningMetrics::Get();
+  // Tuning rounds get their own traces: candidate generation, MCTS
+  // search, and apply each appear as a span.
+  obs::ScopedTrace trace("tuning.round");
   const util::Stopwatch round_watch;
   TuningResult result;
 
@@ -217,14 +223,19 @@ TuningResult AutoIndexManager::RunManagementRound(bool apply) {
   const IndexConfig existing = db_->CurrentConfig();
 
   util::Stopwatch phase_watch;
-  const std::vector<IndexDef> candidates =
-      generator_->Generate(templates, existing);
+  const std::vector<IndexDef> candidates = [&] {
+    obs::ScopedSpan gen_span("tuning.candidate_gen");
+    return generator_->Generate(templates, existing);
+  }();
   result.candidate_gen_ms = phase_watch.ElapsedMs();
   metrics.candidate_gen_us->Record(phase_watch.ElapsedUs());
   result.candidates_generated = candidates.size();
 
   phase_watch.Restart();
-  MctsResult mcts = selector_->Run(existing, candidates, workload);
+  MctsResult mcts = [&] {
+    obs::ScopedSpan search_span("tuning.search");
+    return selector_->Run(existing, candidates, workload);
+  }();
   result.search_ms = phase_watch.ElapsedMs();
   metrics.search_us->Record(phase_watch.ElapsedUs());
   result.est_base_cost = mcts.base_cost;
@@ -263,6 +274,7 @@ TuningResult AutoIndexManager::RunManagementRound(bool apply) {
   }
 
   if (apply) {
+    obs::ScopedSpan apply_span("tuning.apply");
     if (config_.async_apply) {
       // Stage and return: the background worker publishes the DDL while
       // the workload keeps running. added/removed keep reporting the

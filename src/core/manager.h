@@ -47,6 +47,12 @@ struct AutoIndexConfig {
   // Sample rate for collecting training observations (the paper samples
   // 0.01% of a 2.2M-query workload; we default denser for small runs).
   double observation_sample_rate = 0.05;
+  // Request-scoped tracing (DESIGN.md §13): statements slower than
+  // trace_slow_us always land in the flight recorder's ring buffer; a
+  // trace_sample_rate fraction of the remaining traces is head-sampled.
+  // Pushed into obs::Tracer::Default() at manager construction.
+  uint64_t trace_slow_us = 10'000;
+  double trace_sample_rate = 0.01;
   // Apply recommended DDL on a background worker thread: the round stages
   // its adds/drops onto the apply queue and returns immediately, so the
   // tuning loop never blocks behind index builds. Join with WaitForApply()

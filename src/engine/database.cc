@@ -5,6 +5,9 @@
 
 #include "engine/durability.h"
 #include "engine/session.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "util/build_info.h"
 #include "util/metrics.h"
 
 namespace autoindex {
@@ -79,6 +82,9 @@ constexpr size_t kBuildFreeCatchupRounds = 64;
 }  // namespace
 
 Database::Database(CostParams params) : params_(params) {
+  // Registers build.info and arms the uptime epoch on the first database
+  // of the process.
+  util::RefreshRuntimeMetrics();
   catalog_ = std::make_unique<Catalog>();
   index_manager_ = std::make_unique<IndexManager>(catalog_.get());
   stats_manager_ = std::make_unique<StatsManager>(catalog_.get());
@@ -145,16 +151,22 @@ Status Database::CreateIndex(const IndexDef& def) {
   HeapTable* table = nullptr;
   size_t snapshot_slots = 0;
   const EngineMetrics& metrics = EngineMetrics::Get();
+  // Build trace: one root with a span per phase (register → scan →
+  // catch-up → publish), so a writer stall can be attributed to the
+  // publish window rather than the whole build.
+  obs::ScopedTrace trace("index.build");
   util::ScopedTimer total_timer(metrics.build_total_us);
   util::Stopwatch phase_watch{util::Stopwatch::DeferStart{}};
   {
     // Phase 0 — registration, brief exclusive window: the slot horizon
     // and the delta routing switch on atomically. Every writer that runs
     // after this latch drops feeds the build's side delta.
+    obs::ScopedSpan phase_span("build.register");
     LatchManager::Guard guard = latches_.AcquireExclusive(def.table);
     StatusOr<BuiltIndex*> begun = index_manager_->BeginBuild(def);
     if (!begun.ok()) {
       total_timer.Cancel();
+      trace.Cancel();
       return begun.status();
     }
     build = *begun;
@@ -168,11 +180,16 @@ Status Database::CreateIndex(const IndexDef& def) {
   // are scanned: RowIds are never reused, so every later insert has a
   // higher slot and reached the delta instead. Slots mutated mid-scan are
   // reconciled by the idempotent (delete-then-insert) delta apply.
-  for (size_t lo = 0; lo < snapshot_slots; lo += kBuildScanChunkSlots) {
-    const size_t hi = std::min(snapshot_slots, lo + kBuildScanChunkSlots);
-    LatchManager::Guard guard = latches_.AcquireShared({def.table});
-    for (RowId rid = lo; rid < hi; ++rid) {
-      if (table->IsLive(rid)) build->BuildInsert(table->Get(rid), rid);
+  {
+    obs::ScopedSpan phase_span("build.scan");
+    phase_span.SetAttr("snapshot_slots",
+                       static_cast<int64_t>(snapshot_slots));
+    for (size_t lo = 0; lo < snapshot_slots; lo += kBuildScanChunkSlots) {
+      const size_t hi = std::min(snapshot_slots, lo + kBuildScanChunkSlots);
+      LatchManager::Guard guard = latches_.AcquireShared({def.table});
+      for (RowId rid = lo; rid < hi; ++rid) {
+        if (table->IsLive(rid)) build->BuildInsert(table->Get(rid), rid);
+      }
     }
   }
   metrics.build_scan_us->Record(phase_watch.ElapsedUs());
@@ -184,22 +201,29 @@ Status Database::CreateIndex(const IndexDef& def) {
   // publish). If the delta stops shrinking — writers are producing at
   // least as fast as the drain — fall through to paced rounds below
   // rather than letting the backlog grow unboundedly.
-  for (size_t round = 0; round < kBuildFreeCatchupRounds; ++round) {
-    const size_t before = build->delta_pending();
-    if (before <= kBuildPublishThreshold) break;
-    build->ApplyDeltaBatch(kBuildCatchupBatch);
-    // Net shrink under half a batch: a write storm is winning. Pace it.
-    if (build->delta_pending() + kBuildCatchupBatch / 2 > before) break;
-  }
-  // Paced catch-up: each round drains one batch while holding a *shared*
-  // table latch. Writers take the exclusive latch per statement, so they
-  // queue for at most one batch's worth of apply time and only a handful
-  // of statements slip in between rounds — every round nets nearly a full
-  // batch of progress, which bounds both this loop and the final
-  // exclusive drain at publish.
-  while (build->delta_pending() > kBuildPublishThreshold) {
-    LatchManager::Guard guard = latches_.AcquireShared({def.table});
-    build->ApplyDeltaBatch(kBuildCatchupBatch);
+  {
+    obs::ScopedSpan phase_span("build.catchup");
+    int64_t drain_rounds = 0;
+    for (size_t round = 0; round < kBuildFreeCatchupRounds; ++round) {
+      const size_t before = build->delta_pending();
+      if (before <= kBuildPublishThreshold) break;
+      build->ApplyDeltaBatch(kBuildCatchupBatch);
+      ++drain_rounds;
+      // Net shrink under half a batch: a write storm is winning. Pace it.
+      if (build->delta_pending() + kBuildCatchupBatch / 2 > before) break;
+    }
+    // Paced catch-up: each round drains one batch while holding a *shared*
+    // table latch. Writers take the exclusive latch per statement, so they
+    // queue for at most one batch's worth of apply time and only a handful
+    // of statements slip in between rounds — every round nets nearly a full
+    // batch of progress, which bounds both this loop and the final
+    // exclusive drain at publish.
+    while (build->delta_pending() > kBuildPublishThreshold) {
+      LatchManager::Guard guard = latches_.AcquireShared({def.table});
+      build->ApplyDeltaBatch(kBuildCatchupBatch);
+      ++drain_rounds;
+    }
+    phase_span.SetAttr("drain_rounds", drain_rounds);
   }
   metrics.build_catchup_us->Record(phase_watch.ElapsedUs());
   FireIndexBuildHook(IndexBuildPhase::kCaughtUp);
@@ -210,6 +234,7 @@ Status Database::CreateIndex(const IndexDef& def) {
   // aborts the build so no half-built state leaks.
   Status s;
   {
+    obs::ScopedSpan phase_span("build.publish");
     LatchManager::Guard guard = latches_.AcquireExclusive(def.table);
     s = index_manager_->FinishBuildDrain(key);
     if (s.ok()) {
@@ -266,8 +291,18 @@ Status Database::DropIndex(const std::string& key_or_name) {
 }
 
 StatusOr<ExecResult> Database::Execute(const std::string& sql) {
-  StatusOr<Statement> stmt = ParseSql(sql);
-  if (!stmt.ok()) return stmt.status();
+  // Root the trace here so parsing is part of the statement's span tree
+  // (a no-op under a Session or network-request trace, which opened one
+  // already and traced its own parse).
+  obs::ScopedTrace trace("statement");
+  StatusOr<Statement> stmt = [&] {
+    obs::ScopedSpan parse_span("parse");
+    return ParseSql(sql);
+  }();
+  if (!stmt.ok()) {
+    trace.Cancel();
+    return stmt.status();
+  }
   return Execute(*stmt);
 }
 
@@ -279,13 +314,23 @@ StatusOr<ExecResult> Database::ExecuteOn(Executor* executor,
                                          const Statement& stmt) {
   const EngineMetrics& metrics = EngineMetrics::Get();
   metrics.statements->Add();
+  // Statement trace root for direct ExecuteOn callers; a no-op nested
+  // under a Session or network-request trace.
+  obs::ScopedTrace trace("statement");
   // End-to-end statement latency: latch wait + execution + WAL append.
   util::ScopedTimer statement_timer(metrics.statement_us);
-  LatchManager::Guard guard = latches_.Acquire(StatementLatches(stmt));
-  StatusOr<ExecResult> result = executor->Execute(stmt);
+  LatchManager::Guard guard = [&] {
+    obs::ScopedSpan latch_span("latch.acquire");
+    return latches_.Acquire(StatementLatches(stmt));
+  }();
+  StatusOr<ExecResult> result = [&] {
+    obs::ScopedSpan exec_span("engine.execute");
+    return executor->Execute(stmt);
+  }();
   if (result.ok() && stmt.IsWrite()) {
     // Logged while the exclusive table latch is still held, so WAL order
     // equals execution order for every table.
+    obs::ScopedSpan commit_span("wal.commit");
     Status logged = CommitDurable([&](DurabilityLog* log, uint64_t version) {
       return log->AppendStatement(stmt, version);
     });
@@ -351,7 +396,18 @@ std::vector<util::MetricsRegistry::MetricValue> Database::MetricsSnapshot(
 }
 
 std::string Database::RenderMetricsText(const std::string& prefix) const {
+  // Render-time refresh so build.info/uptime survive ResetForTest and the
+  // uptime gauge is current at every scrape.
+  util::RefreshRuntimeMetrics();
   return util::MetricsRegistry::Default().RenderText(prefix);
+}
+
+std::string Database::DumpTraces() const {
+  return obs::TracesToChromeJson(obs::Tracer::Default().TakeSnapshot());
+}
+
+std::string Database::RenderTraceTrees(size_t n) const {
+  return obs::RenderRecentTraces(obs::Tracer::Default().TakeSnapshot(), n);
 }
 
 IndexConfig Database::CurrentConfig() const {

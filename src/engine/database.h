@@ -188,6 +188,14 @@ class Database {
   // Prometheus-style text exposition of the same view.
   std::string RenderMetricsText(const std::string& prefix = {}) const;
 
+  // --- Tracing (DESIGN.md §13) ---
+  // The flight recorder's current contents as Chrome trace-event JSON
+  // (load via chrome://tracing or Perfetto). The shell's `\trace dump`
+  // writes exactly this string.
+  std::string DumpTraces() const;
+  // The `n` most recent traces as indented span trees (`\trace show`).
+  std::string RenderTraceTrees(size_t n) const;
+
   // --- Introspection ---
   Executor& executor() { return *executor_; }
   const Executor& executor() const { return *executor_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
 
@@ -113,11 +114,14 @@ StatusOr<ExecResult> Executor::ExecuteSelect(const SelectStatement& stmt) {
     std::vector<IndexStatsView> per = BuiltConfig(ref.table);
     config.insert(config.end(), per.begin(), per.end());
   }
-  StatusOr<SelectPlan> plan_or = planner_.PlanSelect(stmt, config);
-  if (!plan_or.ok()) return plan_or.status();
-
-  std::unique_ptr<PhysicalPlan> pplan =
-      LowerSelect(stmt, std::move(*plan_or), catalog_, indexes_, params_);
+  std::unique_ptr<PhysicalPlan> pplan;
+  {
+    obs::ScopedSpan plan_span("plan");
+    StatusOr<SelectPlan> plan_or = planner_.PlanSelect(stmt, config);
+    if (!plan_or.ok()) return plan_or.status();
+    pplan = LowerSelect(stmt, std::move(*plan_or), catalog_, indexes_,
+                        params_);
+  }
 
   ExecResult result;
   result.indexes_used = pplan->indexes_used;
@@ -143,12 +147,15 @@ StatusOr<std::vector<RowId>> Executor::LookupRows(const std::string& table,
                                                   ExecResult* result) {
   HeapTable* t = catalog_->GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
-  StatusOr<TablePlan> tp_or =
-      planner_.PlanWriteLookup(table, where, BuiltConfig(table));
-  if (!tp_or.ok()) return tp_or.status();
-
-  std::unique_ptr<PhysicalPlan> pplan =
-      LowerWriteLookup(std::move(*tp_or), where, catalog_, indexes_, params_);
+  std::unique_ptr<PhysicalPlan> pplan;
+  {
+    obs::ScopedSpan plan_span("plan");
+    StatusOr<TablePlan> tp_or =
+        planner_.PlanWriteLookup(table, where, BuiltConfig(table));
+    if (!tp_or.ok()) return tp_or.status();
+    pplan = LowerWriteLookup(std::move(*tp_or), where, catalog_, indexes_,
+                             params_);
+  }
   result->indexes_used = pplan->indexes_used;
   result->stats.used_index = pplan->used_index;
 

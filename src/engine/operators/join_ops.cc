@@ -6,7 +6,7 @@ namespace autoindex {
 
 // --- IndexNestedLoopJoinOp -----------------------------------------------
 
-bool IndexNestedLoopJoinOp::Next(ExecTuple* out) {
+bool IndexNestedLoopJoinOp::DoNext(ExecTuple* out) {
   while (true) {
     if (!inner_active_) {
       if (!outer_->Next(&outer_tuple_)) return false;
@@ -59,7 +59,7 @@ void HashJoinOp::BuildHashTable() {
   built_ = true;
 }
 
-bool HashJoinOp::Next(ExecTuple* out) {
+bool HashJoinOp::DoNext(ExecTuple* out) {
   const TablePlan& tp = tables_[level_];
   while (true) {
     if (!inner_active_) {
@@ -115,7 +115,7 @@ std::string HashJoinOp::detail() const {
 
 // --- NestedLoopJoinOp ----------------------------------------------------
 
-bool NestedLoopJoinOp::Next(ExecTuple* out) {
+bool NestedLoopJoinOp::DoNext(ExecTuple* out) {
   const TablePlan& tp = tables_[level_];
   while (true) {
     if (!inner_active_) {

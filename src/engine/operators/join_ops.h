@@ -57,9 +57,9 @@ class IndexNestedLoopJoinOp : public JoinOpBase {
       : JoinOpBase(ctx, tables, level, std::move(outer)),
         inner_(std::move(inner)) {}
 
-  void Open() override { outer_->Open(); }
-  bool Next(ExecTuple* out) override;
-  void Close() override {
+  void DoOpen() override { outer_->Open(); }
+  bool DoNext(ExecTuple* out) override;
+  void DoClose() override {
     outer_->Close();
     inner_->Close();
   }
@@ -85,9 +85,9 @@ class HashJoinOp : public JoinOpBase {
              std::vector<std::string> join_cols,
              std::vector<ColumnRef> join_sources);
 
-  void Open() override { outer_->Open(); }
-  bool Next(ExecTuple* out) override;
-  void Close() override {
+  void DoOpen() override { outer_->Open(); }
+  bool DoNext(ExecTuple* out) override;
+  void DoClose() override {
     outer_->Close();
     build_->Close();
   }
@@ -122,9 +122,9 @@ class NestedLoopJoinOp : public JoinOpBase {
       : JoinOpBase(ctx, tables, level, std::move(outer)),
         inner_(std::move(inner)) {}
 
-  void Open() override { outer_->Open(); }
-  bool Next(ExecTuple* out) override;
-  void Close() override {
+  void DoOpen() override { outer_->Open(); }
+  bool DoNext(ExecTuple* out) override;
+  void DoClose() override {
     outer_->Close();
     inner_->Close();
   }

@@ -8,6 +8,7 @@
 
 #include "engine/cost_model.h"
 #include "engine/planner.h"
+#include "obs/trace.h"
 #include "sql/statement.h"
 #include "storage/catalog.h"
 
@@ -127,13 +128,27 @@ bool JoinConditionsOk(const TablePlan& tp, const ColumnResolver& resolver,
 // Next() produces the next tuple (false = exhausted), Close() tears down.
 // Heavy work (materialization, hash build) happens lazily on first Next()
 // so untouched subtrees cost nothing — matching the previous executor.
+//
+// The lifecycle entry points are non-virtual template methods so every
+// operator gets a trace span for free: Open() starts a span (children
+// opened inside DoOpen() nest under it), Close() stamps its duration and
+// the rows_out attribute — one span per operator covering its whole
+// Open..Close lifetime, with no per-Next clock reads on the tuple path.
+// Implementations override DoOpen/DoNext/DoClose.
 class PhysicalOperator {
  public:
   virtual ~PhysicalOperator() = default;
 
-  virtual void Open() = 0;
-  virtual bool Next(ExecTuple* out) = 0;
-  virtual void Close() = 0;
+  void Open() {
+    span_.Begin(name());
+    DoOpen();
+    span_.Leave();
+  }
+  bool Next(ExecTuple* out) { return DoNext(out); }
+  void Close() {
+    DoClose();
+    span_.End("rows_out", stats_.rows_out);
+  }
 
   virtual const char* name() const = 0;
   // Human-readable target ("on orders via idx_orders_customer_id").
@@ -159,9 +174,16 @@ class PhysicalOperator {
   PlanNodeSnapshot Snapshot() const;
 
  protected:
+  virtual void DoOpen() = 0;
+  virtual bool DoNext(ExecTuple* out) = 0;
+  virtual void DoClose() = 0;
+
   OperatorStats stats_;
   double est_rows_ = 0.0;
   double est_cost_ = 0.0;
+
+ private:
+  obs::OperatorSpan span_;
 };
 
 // Collects AppendFeedback over the whole tree (pre-order).

@@ -38,7 +38,7 @@ struct GroupKeyEq {
 
 // --- FilterOp ------------------------------------------------------------
 
-bool FilterOp::Next(ExecTuple* out) {
+bool FilterOp::DoNext(ExecTuple* out) {
   ExecTuple t;
   while (child_->Next(&t)) {
     ++stats_.rows_in;
@@ -60,7 +60,7 @@ std::string FilterOp::detail() const {
 
 // --- ProjectOp -----------------------------------------------------------
 
-bool ProjectOp::Next(ExecTuple* out) {
+bool ProjectOp::DoNext(ExecTuple* out) {
   ExecTuple t;
   if (!child_->Next(&t)) return false;
   ++stats_.rows_in;
@@ -144,7 +144,7 @@ void SortOp::EnsureSorted() {
   sorted_ = true;
 }
 
-bool SortOp::Next(ExecTuple* out) {
+bool SortOp::DoNext(ExecTuple* out) {
   EnsureSorted();
   if (cursor_ >= buffer_.size()) return false;
   *out = buffer_[cursor_++];
@@ -168,7 +168,7 @@ std::string SortOp::detail() const {
 
 // --- LimitOp -------------------------------------------------------------
 
-bool LimitOp::Next(ExecTuple* out) {
+bool LimitOp::DoNext(ExecTuple* out) {
   // Short-circuit: once satisfied, never pull the child again (the whole
   // point of LIMIT). Draining here used to force full upstream scans.
   if (emitted_ >= limit_) return false;
@@ -276,7 +276,7 @@ void HashAggregateOp::EnsureAggregated() {
   aggregated_ = true;
 }
 
-bool HashAggregateOp::Next(ExecTuple* out) {
+bool HashAggregateOp::DoNext(ExecTuple* out) {
   EnsureAggregated();
   if (cursor_ >= out_rows_.size()) return false;
   out->slots.assign(1, out_rows_[cursor_++]);

@@ -14,8 +14,8 @@ class UnaryOpBase : public PhysicalOperator {
   UnaryOpBase(std::unique_ptr<PhysicalOperator> child)
       : child_(std::move(child)) {}
 
-  void Open() override { child_->Open(); }
-  void Close() override { child_->Close(); }
+  void DoOpen() override { child_->Open(); }
+  void DoClose() override { child_->Close(); }
   size_t num_children() const override { return 1; }
   const PhysicalOperator* child(size_t) const override {
     return child_.get();
@@ -35,7 +35,7 @@ class FilterOp : public UnaryOpBase {
         predicate_(predicate),
         resolver_(*ctx->catalog, tables, tables.size() - 1) {}
 
-  bool Next(ExecTuple* out) override;
+  bool DoNext(ExecTuple* out) override;
 
   const char* name() const override { return "Filter"; }
   std::string detail() const override;
@@ -58,7 +58,7 @@ class ProjectOp : public UnaryOpBase {
         items_(items),
         resolver_(*ctx->catalog, tables, tables.size() - 1) {}
 
-  bool Next(ExecTuple* out) override;
+  bool DoNext(ExecTuple* out) override;
 
   const char* name() const override { return "Project"; }
   std::string detail() const override;
@@ -89,7 +89,7 @@ class SortOp : public UnaryOpBase {
         mode_(mode),
         resolver_(*ctx->catalog, tables, tables.size() - 1) {}
 
-  bool Next(ExecTuple* out) override;
+  bool DoNext(ExecTuple* out) override;
 
   const char* name() const override { return "Sort"; }
   std::string detail() const override;
@@ -119,7 +119,7 @@ class LimitOp : public UnaryOpBase {
   LimitOp(size_t limit, std::unique_ptr<PhysicalOperator> child)
       : UnaryOpBase(std::move(child)), limit_(limit) {}
 
-  bool Next(ExecTuple* out) override;
+  bool DoNext(ExecTuple* out) override;
 
   const char* name() const override { return "Limit"; }
   std::string detail() const override {
@@ -146,7 +146,7 @@ class HashAggregateOp : public UnaryOpBase {
         group_by_(group_by),
         resolver_(*ctx->catalog, tables, tables.size() - 1) {}
 
-  bool Next(ExecTuple* out) override;
+  bool DoNext(ExecTuple* out) override;
 
   const char* name() const override { return "HashAggregate"; }
   std::string detail() const override;

@@ -58,7 +58,7 @@ void SeqScanOp::EnsureMaterialized() {
   materialized_done_ = true;
 }
 
-bool SeqScanOp::Next(ExecTuple* out) {
+bool SeqScanOp::DoNext(ExecTuple* out) {
   EnsureMaterialized();
   while (cursor_ < materialized_.size()) {
     const RowId rid = materialized_[cursor_++];
@@ -101,7 +101,7 @@ IndexScanOp::IndexScanOp(ExecContext* ctx,
       index_(index),
       resolver_(*ctx->catalog, tables, level) {}
 
-void IndexScanOp::Open() {
+void IndexScanOp::DoOpen() {
   // Standalone use (leftmost table / write lookup): one probe, all key
   // columns bound from literals. As a join inner, the parent Rebind()s
   // per outer tuple instead and this initial probe is never issued.
@@ -177,7 +177,7 @@ bool IndexScanOp::Rebind(const ExecTuple* outer) {
   return true;
 }
 
-bool IndexScanOp::Next(ExecTuple* out) {
+bool IndexScanOp::DoNext(ExecTuple* out) {
   const TablePlan& tp = tables_[level_];
   while (cursor_ < rids_.size()) {
     const RowId rid = rids_[cursor_++];

@@ -18,9 +18,9 @@ class SeqScanOp : public PhysicalOperator {
   SeqScanOp(ExecContext* ctx, const std::vector<TablePlan>& tables,
             size_t level);
 
-  void Open() override {}
-  bool Next(ExecTuple* out) override;
-  void Close() override {}
+  void DoOpen() override {}
+  bool DoNext(ExecTuple* out) override;
+  void DoClose() override {}
 
   const char* name() const override { return "SeqScan"; }
   std::string detail() const override;
@@ -54,9 +54,9 @@ class IndexScanOp : public PhysicalOperator {
   IndexScanOp(ExecContext* ctx, const std::vector<TablePlan>& tables,
               size_t level, const BuiltIndex* index);
 
-  void Open() override;
-  bool Next(ExecTuple* out) override;
-  void Close() override {}
+  void DoOpen() override;
+  bool DoNext(ExecTuple* out) override;
+  void DoClose() override {}
 
   const char* name() const override { return "IndexScan"; }
   std::string detail() const override;

@@ -1,6 +1,7 @@
 #include "engine/session.h"
 
 #include "engine/database.h"
+#include "obs/trace.h"
 
 namespace autoindex {
 
@@ -12,7 +13,13 @@ Session::Session(Database* db)
 Session::~Session() = default;
 
 StatusOr<ExecResult> Session::Execute(const std::string& sql) {
-  StatusOr<Statement> stmt = ParseSql(sql);
+  // Statement trace root for text entry points (a no-op when the network
+  // layer already opened one for the request).
+  obs::ScopedTrace trace("statement");
+  StatusOr<Statement> stmt = [&] {
+    obs::ScopedSpan parse_span("parse");
+    return ParseSql(sql);
+  }();
   if (!stmt.ok()) return stmt.status();
   return Execute(*stmt);
 }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace autoindex {
@@ -51,6 +52,9 @@ Status Client::Connect(const std::string& host, int port,
     return Status::Internal(StrCat("handshake: expected HelloOk, got ",
                                    MessageTypeName(reply.type)));
   }
+  // Major version must match exactly; the minor (reply.protocol_minor)
+  // may differ — unknown extensions are optional trailing fields each
+  // side simply ignores.
   if (reply.protocol_version != kProtocolVersion) {
     sock_.Close();
     return Status::InvalidArgument(
@@ -94,8 +98,11 @@ StatusOr<Message> Client::RoundTrip(const Message& request,
 }
 
 StatusOr<QueryResult> Client::Query(const std::string& sql) {
-  StatusOr<Message> reply =
-      RoundTrip(Message::Query(sql), MessageType::kResult);
+  Message request = Message::Query(sql);
+  // Propagate the caller's active trace (if any) so the server-side
+  // record links back to it; 0 means "not client-traced".
+  request.client_trace_id = obs::CurrentTraceId();
+  StatusOr<Message> reply = RoundTrip(request, MessageType::kResult);
   if (!reply.ok()) return reply.status();
   if (reply->status_code != StatusCode::kOk) {
     // The statement itself failed server-side; surface its Status as if
@@ -106,7 +113,16 @@ StatusOr<QueryResult> Client::Query(const std::string& sql) {
   result.rows = std::move(reply->rows);
   result.stats = reply->stats;
   result.indexes_used = std::move(reply->indexes_used);
+  result.server_trace_id = reply->trace_id;
+  result.server_span_count = reply->trace_span_count;
   return result;
+}
+
+StatusOr<std::string> Client::Metrics(const std::string& prefix) {
+  StatusOr<Message> reply = RoundTrip(Message::MetricsRequest(prefix),
+                                      MessageType::kMetricsResponse);
+  if (!reply.ok()) return reply.status();
+  return std::move(reply->text);
 }
 
 Status Client::Ping() {

@@ -26,6 +26,11 @@ struct QueryResult {
   std::vector<Row> rows;
   ExecStats stats;
   std::vector<std::string> indexes_used;
+  // Server-side trace identity for this statement (0 from a minor-0
+  // server): the id of the server's net.request trace and how many spans
+  // it had recorded when the response was encoded.
+  uint64_t server_trace_id = 0;
+  uint32_t server_span_count = 0;
 };
 
 // True for the Status a client call returns when the server shed the
@@ -56,6 +61,10 @@ class Client {
   // kBusy shed as IsServerBusy (also usable); transport/protocol errors
   // close the connection.
   StatusOr<QueryResult> Query(const std::string& sql);
+
+  // Fetches the server's metrics exposition (RenderMetricsText), filtered
+  // to series whose Prometheus name starts with `prefix` (empty = all).
+  StatusOr<std::string> Metrics(const std::string& prefix = {});
 
   // Round-trip liveness probe.
   Status Ping();

@@ -73,6 +73,8 @@ const char* MessageTypeName(MessageType type) {
     case MessageType::kShutdown: return "Shutdown";
     case MessageType::kBusy: return "Busy";
     case MessageType::kError: return "Error";
+    case MessageType::kMetricsRequest: return "MetricsRequest";
+    case MessageType::kMetricsResponse: return "MetricsResponse";
   }
   return "Unknown";
 }
@@ -81,6 +83,7 @@ Message Message::HelloOk(uint64_t session_id) {
   Message m;
   m.type = MessageType::kHelloOk;
   m.protocol_version = kProtocolVersion;
+  m.protocol_minor = kProtocolMinorVersion;
   m.session_id = session_id;
   return m;
 }
@@ -112,6 +115,20 @@ Message Message::Error(std::string reason) {
   return m;
 }
 
+Message Message::MetricsRequest(std::string prefix) {
+  Message m;
+  m.type = MessageType::kMetricsRequest;
+  m.text = std::move(prefix);
+  return m;
+}
+
+Message Message::MetricsResponse(std::string rendered) {
+  Message m;
+  m.type = MessageType::kMetricsResponse;
+  m.text = std::move(rendered);
+  return m;
+}
+
 Message Message::FailedResult(const Status& status) {
   Message m;
   m.type = MessageType::kResult;
@@ -126,16 +143,21 @@ std::string EncodeFrame(const Message& m) {
   switch (m.type) {
     case MessageType::kHello:
       payload.PutU32(m.protocol_version);
+      payload.PutU32(m.protocol_minor);
       break;
     case MessageType::kHelloOk:
       payload.PutU32(m.protocol_version);
       payload.PutU64(m.session_id);
+      payload.PutU32(m.protocol_minor);
       break;
     case MessageType::kQuery:
       payload.PutString(m.sql);
+      payload.PutU64(m.client_trace_id);
       break;
     case MessageType::kBusy:
     case MessageType::kError:
+    case MessageType::kMetricsRequest:
+    case MessageType::kMetricsResponse:
       payload.PutString(m.text);
       break;
     case MessageType::kResult: {
@@ -146,6 +168,8 @@ std::string EncodeFrame(const Message& m) {
       PutExecStats(&payload, m.stats);
       payload.PutU32(static_cast<uint32_t>(m.indexes_used.size()));
       for (const std::string& name : m.indexes_used) payload.PutString(name);
+      payload.PutU64(m.trace_id);
+      payload.PutU32(m.trace_span_count);
       break;
     }
     case MessageType::kPing:
@@ -195,7 +219,7 @@ Status DecodePayload(const char* payload, size_t len, uint32_t crc,
   persist::Reader r(payload, len);
   const uint8_t raw_type = r.GetU8();
   if (raw_type < static_cast<uint8_t>(MessageType::kHello) ||
-      raw_type > static_cast<uint8_t>(MessageType::kError)) {
+      raw_type > static_cast<uint8_t>(MessageType::kMetricsResponse)) {
     return Status::InvalidArgument(
         StrFormat("unknown message type %u", raw_type));
   }
@@ -204,16 +228,23 @@ Status DecodePayload(const char* payload, size_t len, uint32_t crc,
   switch (m.type) {
     case MessageType::kHello:
       m.protocol_version = r.GetU32();
+      // Optional minor-version tail: a minor-0 peer's Hello ends here.
+      if (r.ok() && !r.AtEnd()) m.protocol_minor = r.GetU32();
       break;
     case MessageType::kHelloOk:
       m.protocol_version = r.GetU32();
       m.session_id = r.GetU64();
+      if (r.ok() && !r.AtEnd()) m.protocol_minor = r.GetU32();
       break;
     case MessageType::kQuery:
       m.sql = r.GetString();
+      // Optional trace-propagation tail (minor 1).
+      if (r.ok() && !r.AtEnd()) m.client_trace_id = r.GetU64();
       break;
     case MessageType::kBusy:
     case MessageType::kError:
+    case MessageType::kMetricsRequest:
+    case MessageType::kMetricsResponse:
       m.text = r.GetString();
       break;
     case MessageType::kResult: {
@@ -243,6 +274,11 @@ Status DecodePayload(const char* payload, size_t len, uint32_t crc,
       }
       for (uint32_t i = 0; i < num_indexes && r.ok(); ++i) {
         m.indexes_used.push_back(r.GetString());
+      }
+      // Optional trace-propagation tail (minor 1).
+      if (r.ok() && !r.AtEnd()) {
+        m.trace_id = r.GetU64();
+        m.trace_span_count = r.GetU32();
       }
       break;
     }

@@ -35,7 +35,14 @@ namespace net {
 // statements (server.h).
 
 inline constexpr uint32_t kFrameMagic = 0x314E4941;  // "AIN1"
+// Major version: incompatible framing/semantics. Peers must match
+// exactly (the server refuses a mismatched Hello).
 inline constexpr uint32_t kProtocolVersion = 1;
+// Minor version: backward-compatible message extensions (optional
+// trailing fields, new message types). Peers may differ — each side
+// simply ignores extensions it predates. Minor 1 added kMetricsRequest/
+// kMetricsResponse and the trace-propagation fields on kQuery/kResult.
+inline constexpr uint32_t kProtocolMinorVersion = 1;
 // Upper bound on one payload. Chosen so a malicious length field cannot
 // make the peer allocate unbounded memory before the CRC check.
 inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
@@ -53,6 +60,9 @@ enum class MessageType : uint8_t {
   kShutdown = 9,  // client -> server: begin graceful drain of the server
   kBusy = 10,     // server -> client: admission shed (text = reason)
   kError = 11,    // server -> client: connection-fatal error (text)
+  // Minor version 1:
+  kMetricsRequest = 12,   // client -> server: text = name prefix filter
+  kMetricsResponse = 13,  // server -> client: text = rendered exposition
 };
 
 const char* MessageTypeName(MessageType type);
@@ -65,12 +75,25 @@ struct Message {
 
   // kHello / kHelloOk
   uint32_t protocol_version = 0;
+  // kHello / kHelloOk, optional trailing field: absent (0) from minor-0
+  // peers, who stay compatible.
+  uint32_t protocol_minor = 0;
   // kHelloOk
   uint64_t session_id = 0;
   // kQuery
   std::string sql;
-  // kBusy / kError
+  // kBusy / kError; kMetricsRequest (prefix filter) / kMetricsResponse
+  // (rendered exposition)
   std::string text;
+  // kQuery, optional trailing field: the client's active trace id so the
+  // server trace links back to it (0 = the request is not client-traced).
+  uint64_t client_trace_id = 0;
+  // kResult, optional trailing fields: the server-side trace id of this
+  // request and how many spans it had recorded by response-encode time
+  // (the final net.send span closes after the response is written, so it
+  // is not included).
+  uint64_t trace_id = 0;
+  uint32_t trace_span_count = 0;
   // kResult
   StatusCode status_code = StatusCode::kOk;
   std::string status_message;
@@ -82,6 +105,7 @@ struct Message {
     Message m;
     m.type = MessageType::kHello;
     m.protocol_version = kProtocolVersion;
+    m.protocol_minor = kProtocolMinorVersion;
     return m;
   }
   static Message HelloOk(uint64_t session_id);
@@ -89,6 +113,8 @@ struct Message {
   static Message Simple(MessageType type);  // kPing/kPong/kQuit/kBye/kShutdown
   static Message Busy(std::string reason);
   static Message Error(std::string reason);
+  static Message MetricsRequest(std::string prefix);
+  static Message MetricsResponse(std::string rendered);
   // A kResult carrying a failed statement status (no rows).
   static Message FailedResult(const Status& status);
 };

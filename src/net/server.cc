@@ -9,6 +9,7 @@
 #include "engine/database.h"
 #include "engine/session.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
 
@@ -299,10 +300,19 @@ void Server::ServeConnection(uint64_t conn_id, Socket sock) {
       break;
     }
 
+    // The request trace opens once the socket is readable, so net.recv
+    // measures frame parsing, not idle time between statements. Control
+    // frames (ping/quit/...) cancel the trace below — only queries and
+    // metrics scrapes are worth a flight-recorder slot.
+    obs::ScopedTrace trace("net.request");
     Message request;
-    got = ReadFrame(&sock, &request, config_.io_timeout_ms,
-                    metrics.bytes_read);
+    {
+      obs::ScopedSpan recv_span("net.recv");
+      got = ReadFrame(&sock, &request, config_.io_timeout_ms,
+                      metrics.bytes_read);
+    }
     if (!got.ok()) {
+      trace.Cancel();
       // A torn or corrupt frame poisons the stream: report once (the
       // peer may already be gone) and close. A clean EOF just closes.
       if (got.code() != StatusCode::kNotFound) {
@@ -313,6 +323,7 @@ void Server::ServeConnection(uint64_t conn_id, Socket sock) {
     }
 
     if (request.type == MessageType::kPing) {
+      trace.Cancel();
       if (!SendFrame(&sock, Message::Simple(MessageType::kPong),
                      config_.io_timeout_ms, metrics.bytes_written)
                .ok()) {
@@ -321,17 +332,31 @@ void Server::ServeConnection(uint64_t conn_id, Socket sock) {
       continue;
     }
     if (request.type == MessageType::kQuit) {
+      trace.Cancel();
       (void)SendFrame(&sock, Message::Simple(MessageType::kBye),
                       config_.io_timeout_ms, metrics.bytes_written);
       break;
     }
     if (request.type == MessageType::kShutdown) {
+      trace.Cancel();
       (void)SendFrame(&sock, Message::Simple(MessageType::kBye),
                       config_.io_timeout_ms, metrics.bytes_written);
       RequestShutdown();
       break;
     }
+    if (request.type == MessageType::kMetricsRequest) {
+      trace.Cancel();
+      if (!SendFrame(&sock,
+                     Message::MetricsResponse(
+                         db_->RenderMetricsText(request.text)),
+                     config_.io_timeout_ms, metrics.bytes_written)
+               .ok()) {
+        break;
+      }
+      continue;
+    }
     if (request.type != MessageType::kQuery) {
+      trace.Cancel();
       (void)SendFrame(&sock,
                       Message::Error(StrCat("unexpected ",
                                             MessageTypeName(request.type),
@@ -339,17 +364,26 @@ void Server::ServeConnection(uint64_t conn_id, Socket sock) {
                       config_.io_timeout_ms, metrics.bytes_written);
       break;
     }
+    trace.set_client_trace_id(request.client_trace_id);
 
     // Admission: bound the statements executing concurrently across the
     // whole server; over the bound we shed with kBusy instead of
     // queueing, so a load spike degrades into explicit rejections the
     // client can back off from.
-    const int inflight =
-        inflight_statements_.fetch_add(1, std::memory_order_acq_rel) + 1;
-    if (inflight > config_.max_inflight_statements) {
-      inflight_statements_.fetch_sub(1, std::memory_order_acq_rel);
-      busy_rejections_.fetch_add(1, std::memory_order_relaxed);
-      metrics.busy_rejections->Add(1);
+    bool shed = false;
+    {
+      obs::ScopedSpan admit_span("net.admit");
+      const int inflight =
+          inflight_statements_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      shed = inflight > config_.max_inflight_statements;
+      if (shed) {
+        inflight_statements_.fetch_sub(1, std::memory_order_acq_rel);
+        busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+        metrics.busy_rejections->Add(1);
+      }
+    }
+    if (shed) {
+      trace.Cancel();
       if (!SendFrame(&sock,
                      Message::Busy(StrCat(
                          "server busy: ", config_.max_inflight_statements,
@@ -366,7 +400,10 @@ void Server::ServeConnection(uint64_t conn_id, Socket sock) {
     if (statement_hook_) statement_hook_();
 
     const util::Stopwatch watch;
-    StatusOr<ExecResult> result = session->Execute(request.sql);
+    StatusOr<ExecResult> result = [&] {
+      obs::ScopedSpan exec_span("net.execute");
+      return session->Execute(request.sql);
+    }();
     const uint64_t elapsed_us = watch.ElapsedUs();
     metrics.statement_us->Record(elapsed_us);
     metrics.inflight_statements->Add(-1);
@@ -388,6 +425,11 @@ void Server::ServeConnection(uint64_t conn_id, Socket sock) {
       response.stats = result->stats;
       response.indexes_used = std::move(result->indexes_used);
     }
+    // Stamp the server trace identity into the result so a traced client
+    // can correlate its client.query trace with the server-side record.
+    // The span count is as-of-encode: net.send closes after the write.
+    response.trace_id = trace.trace_id();
+    response.trace_span_count = static_cast<uint32_t>(trace.span_count());
 
     std::string frame = EncodeFrame(response);
     if (frame.size() - kFrameHeaderBytes > kMaxFrameBytes) {
@@ -397,6 +439,7 @@ void Server::ServeConnection(uint64_t conn_id, Socket sock) {
           StrCat("result exceeds frame limit (", frame.size(), " bytes)")));
       frame = EncodeFrame(response);
     }
+    obs::ScopedSpan send_span("net.send");
     Status sent = sock.SendAll(frame.data(), frame.size(),
                                config_.io_timeout_ms);
     if (sent.ok()) metrics.bytes_written->Add(frame.size());

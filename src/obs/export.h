@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace autoindex {
+namespace obs {
+
+// Serializes a flight-recorder snapshot as Chrome trace-event JSON
+// (the `{"traceEvents": [...]}` object format chrome://tracing and
+// Perfetto load directly). Every span becomes one complete ("ph":"X")
+// event: ts/dur in microseconds on the tracer's epoch clock, one pid for
+// the process, the trace id as tid so each trace renders as its own
+// track, and parent/attribute/drop metadata under "args".
+std::string TracesToChromeJson(const Tracer::Snapshot& snapshot);
+
+// Renders one trace as an indented span tree with durations, e.g.
+//   trace 17 (total 1203 us, slow)
+//     net.request                      1203 us
+//       net.recv                         11 us
+//       ...
+// for the shell's `\trace show`.
+std::string RenderTraceTree(const TraceData& trace);
+
+// The `n` most recent traces of the snapshot, each through
+// RenderTraceTree, newest first.
+std::string RenderRecentTraces(const Tracer::Snapshot& snapshot, size_t n);
+
+}  // namespace obs
+}  // namespace autoindex

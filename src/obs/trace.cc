@@ -1,0 +1,272 @@
+#include "obs/trace.h"
+
+namespace autoindex {
+namespace obs {
+
+namespace {
+
+// One reusable context per thread: beginning a trace is allocation-free
+// after the first few (the span vector keeps its capacity between
+// traces).
+thread_local TraceContext tls_context;
+thread_local TraceContext* tls_current = nullptr;
+
+// splitmix64 finalizer — the deterministic head-sampling coin. Spreads
+// consecutive trace ids uniformly over u64 so comparing against
+// rate * 2^64 keeps an unbiased `rate` fraction, with no RNG state and
+// full reproducibility (the banned-random rule stays happy).
+uint64_t MixTraceId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t SampleThresholdFor(double rate) {
+  if (rate <= 0.0) return 0;
+  if (rate >= 1.0) return UINT64_MAX;
+  return static_cast<uint64_t>(rate * 18446744073709551616.0);  // 2^64
+}
+
+}  // namespace
+
+// --- TraceContext ------------------------------------------------------
+
+uint32_t TraceContext::StartSpan(const char* name) {
+  if (data_.spans.size() >= kMaxSpansPerTrace) {
+    ++data_.spans_dropped;
+    return 0;
+  }
+  SpanRecord span;
+  span.id = static_cast<uint32_t>(data_.spans.size() + 1);
+  span.parent = active_;
+  span.start_us = watch_.ElapsedUs();
+  span.name = name;
+  data_.spans.push_back(span);
+  active_ = span.id;
+  return span.id;
+}
+
+void TraceContext::DetachSpan(uint32_t id) {
+  if (id == 0) return;
+  active_ = data_.spans[id - 1].parent;
+}
+
+void TraceContext::FinishSpan(uint32_t id) {
+  if (id == 0) return;
+  SpanRecord& span = data_.spans[id - 1];
+  span.duration_us = watch_.ElapsedUs() - span.start_us;
+}
+
+void TraceContext::SetSpanAttr(uint32_t id, const char* attr_name,
+                               int64_t value) {
+  if (id == 0) return;
+  SpanRecord& span = data_.spans[id - 1];
+  span.attr_name = attr_name;
+  span.attr_value = value;
+}
+
+void TraceContext::Begin(const char* name, Tracer* tracer, uint64_t trace_id,
+                         bool sampled) {
+  tracer_ = tracer;
+  data_.trace_id = trace_id;
+  data_.client_trace_id = 0;
+  data_.start_offset_us = tracer->EpochElapsedUs();
+  data_.total_us = 0;
+  data_.spans_dropped = 0;
+  data_.sampled = sampled;
+  data_.spans.clear();
+  active_ = 0;
+  watch_.Restart();
+  root_ = StartSpan(name);
+}
+
+void TraceContext::End() {
+  EndSpan(root_);
+  data_.total_us = root_ == 0 ? 0 : data_.spans[root_ - 1].duration_us;
+  tracer_->Submit(data_);
+  tracer_ = nullptr;
+}
+
+void TraceContext::Abandon() {
+  tracer_->NoteCancelled();
+  tracer_ = nullptr;
+}
+
+// --- Tracer ------------------------------------------------------------
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  Configure(kDefaultSlowUs, kDefaultSampleRate);
+  util::MutexLock lock(mu_);
+  ring_.reserve(capacity_);
+}
+
+Tracer& Tracer::Default() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::Configure(uint64_t slow_us, double sample_rate) {
+  slow_us_.store(slow_us, std::memory_order_relaxed);
+  sample_threshold_.store(SampleThresholdFor(sample_rate),
+                          std::memory_order_relaxed);
+}
+
+uint64_t Tracer::BeginTrace(bool* sampled) {
+  const uint64_t id = next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  *sampled = MixTraceId(id) < sample_threshold_.load(std::memory_order_relaxed);
+  return id;
+}
+
+void Tracer::Submit(const TraceData& data) {
+  const bool slow =
+      data.total_us >= slow_us_.load(std::memory_order_relaxed);
+  util::MutexLock lock(mu_);
+  ++stats_.finished;
+  stats_.spans_dropped += data.spans_dropped;
+  if (!slow && !data.sampled) {
+    ++stats_.sampled_out;
+    return;
+  }
+  ++stats_.recorded;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(data);
+  } else {
+    ring_[next_slot_] = data;
+  }
+  next_slot_ = (next_slot_ + 1) % capacity_;
+}
+
+void Tracer::NoteCancelled() {
+  util::MutexLock lock(mu_);
+  ++stats_.cancelled;
+}
+
+Tracer::Snapshot Tracer::TakeSnapshot() const {
+  Snapshot snap;
+  snap.capacity = capacity_;
+  util::MutexLock lock(mu_);
+  snap.stats = stats_;
+  snap.stats.started = next_trace_id_.load(std::memory_order_relaxed);
+  // Oldest first: once the ring wrapped, next_slot_ points at the oldest
+  // kept trace.
+  snap.traces.reserve(ring_.size());
+  const size_t first = ring_.size() < capacity_ ? 0 : next_slot_;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    snap.traces.push_back(ring_[(first + i) % ring_.size()]);
+  }
+  return snap;
+}
+
+void Tracer::ResetForTest() {
+  util::MutexLock lock(mu_);
+  ring_.clear();
+  next_slot_ = 0;
+  stats_ = Stats{};
+  next_trace_id_.store(0, std::memory_order_relaxed);
+}
+
+TraceData* Tracer::TestOnlyMutableTrace(size_t index) {
+  util::MutexLock lock(mu_);
+  if (index >= ring_.size()) return nullptr;
+  const size_t first = ring_.size() < capacity_ ? 0 : next_slot_;
+  return &ring_[(first + index) % ring_.size()];
+}
+
+void Tracer::TestOnlyCorruptStats(int64_t d_finished, int64_t d_recorded,
+                                  int64_t d_sampled_out) {
+  util::MutexLock lock(mu_);
+  stats_.finished += static_cast<uint64_t>(d_finished);
+  stats_.recorded += static_cast<uint64_t>(d_recorded);
+  stats_.sampled_out += static_cast<uint64_t>(d_sampled_out);
+}
+
+// --- RAII helpers ------------------------------------------------------
+
+uint64_t CurrentTraceId() {
+  if constexpr (!util::kMetricsEnabled) return 0;
+  return tls_current == nullptr ? 0 : tls_current->trace_id();
+}
+
+ScopedTrace::ScopedTrace(const char* name, Tracer* tracer) {
+  if constexpr (util::kMetricsEnabled) {
+    if (tls_current != nullptr) return;  // nested: outermost scope wins
+    if (tracer == nullptr) tracer = &Tracer::Default();
+    bool sampled = false;
+    const uint64_t id = tracer->BeginTrace(&sampled);
+    tls_context.Begin(name, tracer, id, sampled);
+    tls_current = &tls_context;
+    ctx_ = &tls_context;
+  } else {
+    (void)name;
+    (void)tracer;
+  }
+}
+
+ScopedTrace::~ScopedTrace() {
+  if (ctx_ == nullptr) return;
+  tls_current = nullptr;
+  if (ctx_->tracer_ != nullptr) ctx_->End();
+}
+
+void ScopedTrace::Cancel() {
+  if (ctx_ == nullptr || ctx_->tracer_ == nullptr) return;
+  ctx_->Abandon();
+}
+
+uint64_t ScopedTrace::trace_id() const {
+  return ctx_ == nullptr ? 0 : ctx_->trace_id();
+}
+
+uint32_t ScopedTrace::span_count() const {
+  return ctx_ == nullptr ? 0 : ctx_->span_count();
+}
+
+void ScopedTrace::set_client_trace_id(uint64_t id) {
+  if (ctx_ != nullptr) ctx_->set_client_trace_id(id);
+}
+
+void ScopedTrace::SetRootAttr(const char* name, int64_t value) {
+  if (ctx_ != nullptr) ctx_->SetSpanAttr(ctx_->root_, name, value);
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if constexpr (util::kMetricsEnabled) {
+    ctx_ = tls_current;
+    if (ctx_ != nullptr) id_ = ctx_->StartSpan(name);
+  } else {
+    (void)name;
+  }
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (ctx_ != nullptr) ctx_->EndSpan(id_);
+}
+
+void ScopedSpan::SetAttr(const char* name, int64_t value) {
+  if (ctx_ != nullptr) ctx_->SetSpanAttr(id_, name, value);
+}
+
+void OperatorSpan::Begin(const char* name) {
+  if constexpr (util::kMetricsEnabled) {
+    ctx_ = tls_current;
+    if (ctx_ != nullptr) id_ = ctx_->StartSpan(name);
+  } else {
+    (void)name;
+  }
+}
+
+void OperatorSpan::Leave() {
+  if (ctx_ != nullptr) ctx_->DetachSpan(id_);
+}
+
+void OperatorSpan::End(const char* attr_name, int64_t attr_value) {
+  if (ctx_ == nullptr) return;
+  ctx_->SetSpanAttr(id_, attr_name, attr_value);
+  ctx_->FinishSpan(id_);
+  ctx_ = nullptr;
+  id_ = 0;
+}
+
+}  // namespace obs
+}  // namespace autoindex

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/trace.h"
 #include "persist/io.h"
 #include "persist/serde.h"
 #include "persist/sql_serde.h"
@@ -224,6 +225,7 @@ StatusOr<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
 Status Wal::AppendRecord(const WalRecord& record) {
   if (fd_ < 0) return Status::Internal("WAL is not open");
   util::ScopedTimer append_timer(WalMetrics::Get().append_us);
+  obs::ScopedSpan append_span("wal.append");
   const std::string payload = SerializePayload(record);
   Writer frame;
   frame.PutU32(static_cast<uint32_t>(payload.size()));
@@ -245,6 +247,7 @@ Status Wal::AppendRecord(const WalRecord& record) {
 Status Wal::Sync() {
   if (fd_ < 0) return Status::Internal("WAL is not open");
   util::ScopedTimer fsync_timer(WalMetrics::Get().fsync_us);
+  obs::ScopedSpan fsync_span("wal.fsync");
   if (::fsync(fd_) != 0) {
     fsync_timer.Cancel();
     return Status::Internal(

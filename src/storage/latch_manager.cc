@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace autoindex {
@@ -138,6 +139,9 @@ LatchManager::Guard LatchManager::Acquire(
         // a valid reference across the waits.
         LatchMetrics::Get().contended->Add();
         util::ScopedTimer wait_timer(LatchMetrics::Get().wait_us);
+        // Contended-path span: records only thread-local trace state, so
+        // it is safe under mu_ (no lock-order edge).
+        obs::ScopedSpan wait_span("latch.wait");
         ++info.waiting_writers;
         ++waiters_;
         do {
@@ -153,6 +157,7 @@ LatchManager::Guard LatchManager::Acquire(
       if (!SharedAdmissibleLocked(r.table)) {
         LatchMetrics::Get().contended->Add();
         util::ScopedTimer wait_timer(LatchMetrics::Get().wait_us);
+        obs::ScopedSpan wait_span("latch.wait");
         ++waiters_;
         do {
           cv_.Wait(mu_);

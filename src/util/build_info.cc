@@ -1,0 +1,50 @@
+#include "util/build_info.h"
+
+#include "util/metrics.h"
+#include "util/string_util.h"
+
+// Baked in per-file by src/util/CMakeLists.txt; the fallbacks keep
+// non-CMake builds (clang-tidy, IDE indexers) compiling.
+#ifndef AUTOINDEX_BUILD_VERSION
+#define AUTOINDEX_BUILD_VERSION "unknown"
+#endif
+#ifndef AUTOINDEX_BUILD_GIT_HASH
+#define AUTOINDEX_BUILD_GIT_HASH "unknown"
+#endif
+#ifndef AUTOINDEX_BUILD_SANITIZER
+#define AUTOINDEX_BUILD_SANITIZER "none"
+#endif
+
+namespace autoindex {
+namespace util {
+
+namespace {
+
+// Armed on the first refresh (Database construction in practice), so
+// uptime measures the serving process, not static-init order.
+const Stopwatch& ProcessEpoch() {
+  static const Stopwatch epoch;
+  return epoch;
+}
+
+}  // namespace
+
+std::string BuildVersion() { return AUTOINDEX_BUILD_VERSION; }
+std::string BuildGitHash() { return AUTOINDEX_BUILD_GIT_HASH; }
+std::string BuildSanitizer() { return AUTOINDEX_BUILD_SANITIZER; }
+
+void RefreshRuntimeMetrics() {
+  const uint64_t uptime_s = ProcessEpoch().ElapsedUs() / 1'000'000;
+  auto& registry = MetricsRegistry::Default();
+  // Function-local statics: the labeled name is assembled once and the
+  // registry lookups happen once per process (the standard caching idiom).
+  static Gauge* const build_info = registry.GetGauge(
+      StrCat("build.info{version=\"", BuildVersion(), "\",git_hash=\"",
+             BuildGitHash(), "\",sanitizer=\"", BuildSanitizer(), "\"}"));
+  static Gauge* const uptime = registry.GetGauge("uptime.seconds");
+  build_info->Set(1);
+  uptime->Set(static_cast<int64_t>(uptime_s));
+}
+
+}  // namespace util
+}  // namespace autoindex

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+namespace autoindex {
+namespace util {
+
+// Build identity and process runtime metrics (DESIGN.md §11).
+//
+// RefreshRuntimeMetrics (re)registers two gauges in the default registry:
+//   autoindex_build_info{version="...",git_hash="...",sanitizer="..."} 1
+//   autoindex_uptime_seconds <seconds since the process epoch>
+// The labels ride inside the registry name (the registry itself is
+// label-free); RenderText splits them back out so the # TYPE line stays
+// bare. Called at Database construction and again on every
+// RenderMetricsText so both survive MetricsRegistry::ResetForTest and
+// the uptime is current at scrape time. The process epoch is armed on
+// the first call.
+void RefreshRuntimeMetrics();
+
+// The values baked into the binary (CMake compile definitions on
+// build_info.cc): version, short git hash ("unknown" outside a git
+// checkout), and the sanitizer list ("none" for plain builds).
+std::string BuildVersion();
+std::string BuildGitHash();
+std::string BuildSanitizer();
+
+}  // namespace util
+}  // namespace autoindex

@@ -166,10 +166,22 @@ std::vector<MetricsRegistry::MetricValue> MetricsRegistry::Snapshot(
 namespace {
 
 // "wal.fsync_us" -> "autoindex_wal_fsync_us".
+// Registry names may carry a Prometheus label block in braces (e.g.
+// "build.info{version=\"1.0\"}"): dots convert to underscores only up to
+// the brace, and the label block is appended verbatim to sample lines
+// (never to # TYPE lines, which take the bare metric name).
 std::string PromName(const std::string& name) {
   std::string out = "autoindex_";
-  for (char c : name) out += (c == '.') ? '_' : c;
+  for (char c : name) {
+    if (c == '{') break;
+    out += (c == '.') ? '_' : c;
+  }
   return out;
+}
+
+std::string PromLabels(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? std::string() : name.substr(brace);
 }
 
 }  // namespace
@@ -180,11 +192,12 @@ std::string MetricsRegistry::RenderText(const std::string& prefix) const {
     const std::string prom = PromName(v.name);
     switch (v.kind) {
       case Kind::kCounter:
-        out += StrCat("# TYPE ", prom, " counter\n", prom, " ", v.counter,
-                      "\n");
+        out += StrCat("# TYPE ", prom, " counter\n", prom,
+                      PromLabels(v.name), " ", v.counter, "\n");
         break;
       case Kind::kGauge:
-        out += StrCat("# TYPE ", prom, " gauge\n", prom, " ", v.gauge, "\n");
+        out += StrCat("# TYPE ", prom, " gauge\n", prom, PromLabels(v.name),
+                      " ", v.gauge, "\n");
         break;
       case Kind::kHistogram: {
         out += StrCat("# TYPE ", prom, " histogram\n");

@@ -7,6 +7,7 @@
 
 #include "engine/session.h"
 #include "net/client.h"
+#include "obs/trace.h"
 #include "util/mutex.h"
 
 namespace autoindex {
@@ -137,12 +138,19 @@ void RemoteClientLoop(const std::string& host, int port,
     const auto issue = std::chrono::steady_clock::now();
     if (pace_us <= 0) scheduled = issue;
 
+    // Client-side trace: its id rides the kQuery frame, so a slow remote
+    // statement can be matched to the server's net.request record.
+    obs::ScopedTrace trace("client.query");
     StatusOr<net::QueryResult> result = client.Query(queries[i]);
     for (int attempt = 0; attempt < 3 && !result.ok() &&
                           net::IsServerBusy(result.status());
          ++attempt) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
       result = client.Query(queries[i]);
+    }
+    if (result.ok()) {
+      trace.SetRootAttr("server_spans",
+                        static_cast<int64_t>(result->server_span_count));
     }
     const auto end = std::chrono::steady_clock::now();
     sinks->service.Record(DurationUs(end - issue));

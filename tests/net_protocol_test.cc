@@ -132,6 +132,81 @@ TEST(NetProtocol, EmptyResultRoundTrip) {
   EXPECT_TRUE(out.indexes_used.empty());
 }
 
+// --- Minor-version compatibility (minor 1: metrics + trace fields) ----
+
+// Decodes `in`'s payload with its last `strip` bytes removed — exactly
+// the bytes a minor-0 peer would never have appended.
+Message DecodeWithoutTail(const Message& in, size_t strip) {
+  const std::string frame = EncodeFrame(in);
+  std::string payload = frame.substr(kFrameHeaderBytes);
+  EXPECT_GT(payload.size(), strip);
+  payload.resize(payload.size() - strip);
+  Message out;
+  const Status s = DecodePayload(
+      payload.data(), payload.size(),
+      persist::Crc32(payload.data(), payload.size()), &out);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+TEST(NetProtocol, HandshakeCarriesMinorVersion) {
+  EXPECT_EQ(RoundTrip(Message::Hello()).protocol_minor,
+            kProtocolMinorVersion);
+  EXPECT_EQ(RoundTrip(Message::HelloOk(7)).protocol_minor,
+            kProtocolMinorVersion);
+}
+
+TEST(NetProtocol, QueryAndResultCarryTraceIdentity) {
+  Message query = Message::Query("SELECT 1");
+  query.client_trace_id = 0xDEADBEEFu;
+  EXPECT_EQ(RoundTrip(query).client_trace_id, 0xDEADBEEFu);
+
+  Message result;
+  result.type = MessageType::kResult;
+  result.trace_id = 42;
+  result.trace_span_count = 17;
+  const Message out = RoundTrip(result);
+  EXPECT_EQ(out.trace_id, 42u);
+  EXPECT_EQ(out.trace_span_count, 17u);
+}
+
+TEST(NetProtocol, MetricsRequestResponseRoundTrip) {
+  EXPECT_EQ(RoundTrip(Message::MetricsRequest("wal.")).text, "wal.");
+  EXPECT_EQ(RoundTrip(Message::MetricsRequest("")).text, "");
+  const std::string exposition =
+      "# TYPE autoindex_x counter\nautoindex_x 1\n";
+  EXPECT_EQ(RoundTrip(Message::MetricsResponse(exposition)).text,
+            exposition);
+}
+
+TEST(NetProtocol, Minor0PeerFramesStillDecode) {
+  // A minor-0 peer sends Hello/HelloOk without the minor field, kQuery
+  // without the trace id, kResult without the trace tail. Each must
+  // decode with the optional fields at their zero defaults — not as a
+  // trailing-bytes/short-read protocol error.
+  const Message hello = DecodeWithoutTail(Message::Hello(), 4);
+  EXPECT_EQ(hello.protocol_version, kProtocolVersion);
+  EXPECT_EQ(hello.protocol_minor, 0u);
+
+  const Message hello_ok = DecodeWithoutTail(Message::HelloOk(9), 4);
+  EXPECT_EQ(hello_ok.session_id, 9u);
+  EXPECT_EQ(hello_ok.protocol_minor, 0u);
+
+  Message traced = Message::Query("SELECT 1");
+  traced.client_trace_id = 99;
+  const Message query = DecodeWithoutTail(traced, 8);
+  EXPECT_EQ(query.sql, "SELECT 1");
+  EXPECT_EQ(query.client_trace_id, 0u);
+
+  Message result;
+  result.type = MessageType::kResult;
+  result.trace_id = 42;
+  result.trace_span_count = 3;
+  const Message old_result = DecodeWithoutTail(result, 12);
+  EXPECT_EQ(old_result.trace_id, 0u);
+  EXPECT_EQ(old_result.trace_span_count, 0u);
+}
+
 // --- Damage rejection -------------------------------------------------
 
 TEST(NetProtocol, TruncatedFramesRejected) {

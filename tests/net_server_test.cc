@@ -296,6 +296,41 @@ TEST(NetServer, GracefulDrainUnderLoadLosesNothing) {
   EXPECT_FALSE(late.Connect("127.0.0.1", server.port()).ok());
 }
 
+TEST(NetServer, RemoteMetricsScrape) {
+  Database db;
+  CheckOk(db.CreateTable("t", Schema({{"id", ValueType::kInt}})).status());
+  CheckOk(db.BulkInsert("t", {{Value(int64_t(1))}}));
+  Server server(&db);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  // Run one statement so the exec-path series exist before the scrape.
+  ASSERT_TRUE(client.Query("SELECT * FROM t").ok());
+
+  // Unfiltered scrape: full Prometheus exposition, including the static
+  // build-info gauge and at least one series the statement just moved.
+  StatusOr<std::string> all = client.Metrics();
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_NE(all->find("autoindex_build_info{"), std::string::npos);
+  EXPECT_NE(all->find("autoindex_uptime_seconds"), std::string::npos);
+  EXPECT_NE(all->find("net_requests_total"), std::string::npos);
+
+  // Prefix filter matches the local `\metrics <prefix>` semantics: it
+  // selects on registry names ("net."), not rendered Prometheus names.
+  StatusOr<std::string> net_only = client.Metrics("net.");
+  ASSERT_TRUE(net_only.ok()) << net_only.status().ToString();
+  EXPECT_NE(net_only->find("net_requests_total"), std::string::npos);
+  EXPECT_EQ(net_only->find("autoindex_uptime_seconds"), std::string::npos);
+
+  // A metrics scrape is not a statement: it must not consume an
+  // in-flight slot or count toward request/response accounting drift.
+  client.Close();
+  server.Stop();
+  EXPECT_EQ(server.stats().requests_started,
+            server.stats().responses_sent);
+}
+
 TEST(NetServer, VersionMismatchRefused) {
   Database db;
   Server server(&db);
